@@ -1,0 +1,44 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark runs one paper figure's sweep at a reduced-but-faithful
+scale (the substrate is a simulator, so only relative behaviour matters),
+prints the regenerated table (visible with ``pytest -s`` and recorded in
+the captured output), and asserts the figure's qualitative shape.
+
+Set ``REPRO_PAPER_SCALE=1`` to run the full paper-scale configurations
+(100-4000 task batches; expect long runtimes, dominated by the IP solver).
+"""
+
+import os
+
+import pytest
+
+
+def paper_scale() -> bool:
+    return os.environ.get("REPRO_PAPER_SCALE", "0") == "1"
+
+
+@pytest.fixture
+def show():
+    """Print a Table through the capture buffer so it lands in reports."""
+
+    def _show(table):
+        print("\n" + table.render() + "\n")
+        return table
+
+    return _show
+
+
+def series(table, scheme, workload=None):
+    """Extract the makespan series of one scheme, ordered by x."""
+    recs = [
+        r
+        for r in table.records
+        if r.scheme == scheme and (workload is None or r.workload == workload)
+    ]
+    return {r.x: r.makespan_s for r in recs}
+
+
+def overhead_series(table, scheme):
+    recs = [r for r in table.records if r.scheme == scheme]
+    return {r.x: r.scheduling_ms_per_task for r in recs}

@@ -1,0 +1,107 @@
+"""Substrate micro-benchmarks: partitioner, solver, runtime throughput.
+
+Unlike the figure benchmarks (single-shot sweeps), these use
+pytest-benchmark's statistical timing to track the performance of the three
+hot substrates, and assert basic quality alongside speed so a "fast but
+broken" regression cannot pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterState, Runtime, osc_xio
+from repro.hypergraph import (
+    Hypergraph,
+    binw_partition,
+    connectivity_1,
+    kway_partition,
+)
+from repro.mip import Model, Sense, solve
+from repro.workloads import generate_image_batch, generate_synthetic_batch
+
+
+def _workload_hypergraph(num_tasks=300, seed=0) -> Hypergraph:
+    batch = generate_image_batch(num_tasks, "high", 4, seed=seed)
+    fidx, nets, weights = {}, [], []
+    for v, t in enumerate(batch.tasks):
+        for f in t.files:
+            j = fidx.setdefault(f, len(nets))
+            if j == len(nets):
+                nets.append([])
+                weights.append(batch.file_size(f))
+            nets[j].append(v)
+    return Hypergraph(len(batch), nets, net_weights=weights)
+
+
+class TestPartitionerPerf:
+    def test_kway_300_tasks(self, benchmark):
+        h = _workload_hypergraph(300)
+
+        def run():
+            return kway_partition(h, 8, np.random.default_rng(0), epsilon=0.1)
+
+        parts = benchmark(run)
+        # Quality floor: must beat random by at least 2x.
+        rand = np.random.default_rng(1).integers(0, 8, size=h.num_vertices)
+        assert connectivity_1(h, parts) < connectivity_1(h, rand) / 2
+
+    def test_binw_300_tasks(self, benchmark):
+        h = _workload_hypergraph(300)
+        bound = h.total_net_weight / 4
+
+        def run():
+            return binw_partition(h, bound, np.random.default_rng(0))
+
+        res = benchmark(run)
+        assert res.num_parts >= 2
+
+
+class TestSolverPerf:
+    @staticmethod
+    def _assignment_model(n=8):
+        rng = np.random.default_rng(0)
+        cost = rng.integers(1, 20, size=(n, n))
+        m = Model("assign")
+        x = {
+            (i, j): m.binary_var(f"x{i}_{j}")
+            for i in range(n)
+            for j in range(n)
+        }
+        for i in range(n):
+            m.add_constr(sum(x[(i, j)] for j in range(n)) == 1)
+        for j in range(n):
+            m.add_constr(sum(x[(i, j)] for i in range(n)) == 1)
+        m.set_objective(
+            sum(int(cost[i, j]) * x[(i, j)] for i in range(n) for j in range(n))
+        )
+        return m
+
+    def test_highs_assignment(self, benchmark):
+        m = self._assignment_model()
+        sol = benchmark(lambda: solve(m, "highs"))
+        assert sol.status.has_solution
+
+    def test_branch_bound_assignment(self, benchmark):
+        m = self._assignment_model(5)
+        sol = benchmark(lambda: solve(m, "branch-bound"))
+        assert sol.status.has_solution
+
+
+class TestRuntimePerf:
+    def test_runtime_200_tasks(self, benchmark):
+        platform = osc_xio(num_compute=8, num_storage=4)
+        batch = generate_synthetic_batch(
+            200, 150, 4, 4, hot_probability=0.6, seed=0
+        )
+        mapping = {
+            t.task_id: k % platform.num_compute
+            for k, t in enumerate(batch.tasks)
+        }
+
+        def run():
+            state = ClusterState.initial(platform, batch)
+            rt = Runtime(platform, state, candidate_limit=10)
+            return rt.execute(batch.tasks, mapping)
+
+        res = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert len(res.records) == 200

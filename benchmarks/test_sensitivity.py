@@ -1,0 +1,46 @@
+"""Sensitivity sweep (beyond the paper): replication-advantage crossover.
+
+Sweeps the compute-interconnect/storage bandwidth ratio and checks the
+crossover documented in ``repro.experiments.sensitivity``: MinMin is
+competitive when replication has no advantage and falls behind the
+affinity-aware BiPartition as replication gets cheap.
+"""
+
+from repro.experiments.sensitivity import replication_advantage_sweep
+
+from conftest import paper_scale
+
+RATIOS = (1.0, 5.0, 20.0)
+N_TASKS = 100 if paper_scale() else 40
+
+
+def test_replication_advantage_crossover(benchmark, show):
+    table = benchmark.pedantic(
+        replication_advantage_sweep,
+        kwargs=dict(ratios=RATIOS, num_tasks=N_TASKS),
+        rounds=1,
+        iterations=1,
+    )
+    show(table)
+
+    def gap(ratio):
+        by = {
+            r.scheme: r.makespan_s for r in table.records if r.x == ratio
+        }
+        return by["minmin"] / by["bipartition"]
+
+    # The MinMin/BiPartition gap grows from the no-advantage regime to the
+    # cheap-replication regime (the crossover).
+    assert gap(RATIOS[-1]) > gap(RATIOS[0])
+    # And with cheap replication BiPartition clearly wins.
+    assert gap(RATIOS[-1]) > 1.05
+
+    # MinMin's implicit replication volume rises with the advantage.
+    def reps(ratio):
+        return next(
+            r.replications
+            for r in table.records
+            if r.x == ratio and r.scheme == "minmin"
+        )
+
+    assert reps(RATIOS[-1]) > reps(RATIOS[0])

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Extending the library: plug in a custom scheduler.
+
+The scheduler interface is one method: ``next_subbatch`` sees the pending
+tasks and the live cluster state and returns a ``SubBatchPlan``. This
+example implements a naive round-robin scheduler, registers it, and races
+it against the built-in schemes — showing both the extension API and how
+much the data-aware schemes actually buy.
+
+Run:  python examples/custom_scheduler.py
+"""
+
+from repro import osc_xio, run_batch
+from repro.core import Scheduler, SubBatchPlan, register_scheduler
+from repro.workloads import generate_image_batch
+
+
+@register_scheduler("roundrobin")
+class RoundRobinScheduler(Scheduler):
+    """Deal tasks to nodes in order, ignoring data placement entirely."""
+
+    uses_subbatches = False
+
+    def next_subbatch(self, batch, pending, platform, state):
+        mapping = {
+            task_id: k % platform.num_compute
+            for k, task_id in enumerate(pending)
+        }
+        return SubBatchPlan(task_ids=list(pending), mapping=mapping)
+
+
+def main():
+    platform = osc_xio(num_compute=4, num_storage=4)
+    batch = generate_image_batch(60, "high", platform.num_storage, seed=1)
+
+    print(
+        f"{'scheduler':14s} {'makespan':>10s} {'remote MB':>10s} "
+        f"{'replica MB':>11s}"
+    )
+    for name in ("roundrobin", "minmin", "jdp", "bipartition"):
+        result = run_batch(batch, platform, name)
+        print(
+            f"{name:14s} {result.makespan:9.1f}s "
+            f"{result.stats.remote_volume_mb:10.0f} "
+            f"{result.stats.replication_volume_mb:11.0f}"
+        )
+
+    print(
+        "\nRound-robin scatters file-sharing tasks across nodes, so the "
+        "runtime has to\npatch locality back in with extra node-to-node "
+        "copies and still finishes later\n— the gap to bipartition is the "
+        "value of modelling batch-shared I/O up front."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Biomedical imaging under disk pressure (the paper's Fig. 5(b) scenario).
+
+A growing batch of MRI/CT analysis tasks is pushed through a compute
+cluster whose disk caches cannot hold the working set, so sub-batch
+selection (BiPartition's BINW first level) and file eviction (Eq. 22
+popularity vs. LRU) start to matter. Prints, per batch size: makespan,
+evictions and sub-batch counts for BiPartition against both baselines.
+
+Run:  python examples/image_disk_pressure.py [--sizes 150 300 600]
+"""
+
+import argparse
+
+from repro import osc_xio, run_batch
+from repro.workloads import generate_image_batch
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[150, 300, 600])
+    parser.add_argument(
+        "--disk-gb", type=float, default=6.0, help="disk per compute node (GB)"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    platform = osc_xio(
+        num_compute=4, num_storage=4, disk_space_mb=args.disk_gb * 1000
+    )
+    print(
+        f"4 compute nodes x {args.disk_gb:.0f} GB disk "
+        f"(aggregate {platform.aggregate_disk_space / 1000:.0f} GB)\n"
+    )
+    header = f"{'tasks':>6s} {'data GB':>8s}"
+    for s in ("bipartition", "jdp", "minmin"):
+        header += f" | {s}: time / evict / sub"
+    print(header)
+
+    for n in args.sizes:
+        batch = generate_image_batch(n, "high", platform.num_storage, seed=args.seed)
+        row = f"{n:6d} {batch.distinct_file_mb / 1000:8.1f}"
+        for scheme in ("bipartition", "jdp", "minmin"):
+            result = run_batch(batch, platform, scheme, candidate_limit=25)
+            row += (
+                f" | {result.makespan:7.1f}s / {result.stats.evictions:5d} "
+                f"/ {result.num_sub_batches:3d}"
+            )
+        print(row)
+
+    print(
+        "\nAs the working set outgrows the caches, the baselines thrash "
+        "(evictions soar)\nwhile BiPartition's disk-aware sub-batches keep "
+        "re-staging bounded."
+    )
+
+
+if __name__ == "__main__":
+    main()

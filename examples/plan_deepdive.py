@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Deep dive into one scheduling decision: plan, validation, Gantt, traffic.
+
+Runs the IP scheduler and BiPartition on the same small batch and inspects
+everything the library exposes about *why* the makespans differ:
+
+1. the sub-batch plan each scheduler produced (mapping + staging),
+2. structural validation of those plans (`repro.core.validate`),
+3. the executed Gantt chart (ASCII) and per-resource busy times,
+4. the remote/replication traffic breakdown.
+
+Run:  python examples/plan_deepdive.py
+"""
+
+from repro import osc_xio
+from repro.cluster import ClusterState, Runtime, render_ascii, trace_events
+from repro.core import BiPartitionScheduler, IPScheduler, validate_plan
+from repro.workloads import generate_sat_batch
+
+
+def run_and_inspect(name, scheduler, batch, platform):
+    print(f"\n=== {name} ===")
+    state = ClusterState.initial(platform, batch)
+    plan = scheduler.next_subbatch(
+        batch, [t.task_id for t in batch.tasks], platform, state
+    )
+
+    report = validate_plan(plan, batch, platform, state)
+    print(f"plan valid: {report.ok}")
+    per_node = {}
+    for t, node in plan.mapping.items():
+        per_node.setdefault(node, []).append(t)
+    for node in sorted(per_node):
+        print(f"  node {node}: {len(per_node[node])} tasks -> {sorted(per_node[node])}")
+    if plan.staging is not None:
+        remotes = sum(
+            1 for s in plan.staging.sources.values() if s.kind == "remote"
+        )
+        replicas = len(plan.staging.sources) - remotes
+        print(
+            f"  staging fixed by the plan: {remotes} remote transfers, "
+            f"{replicas} replications, {len(plan.staging.pushes)} pushes"
+        )
+    else:
+        print("  staging: fully dynamic (min-TCT at runtime)")
+
+    runtime = Runtime(platform, state)
+    tasks = [batch.task(t) for t in plan.task_ids]
+    result = runtime.execute(tasks, plan.mapping, plan.staging)
+    print(f"makespan: {result.makespan:.2f}s")
+    print(
+        f"traffic: {state.stats.remote_volume_mb:.0f} MB remote, "
+        f"{state.stats.replication_volume_mb:.0f} MB replicated"
+    )
+    transfers = [e for e in trace_events(runtime) if e.kind == "xfer"]
+    if transfers:
+        busiest = max(
+            (tl for tl in runtime.storage_tl), key=lambda tl: tl.busy_time()
+        )
+        print(
+            f"busiest storage port: {busiest.name} "
+            f"({busiest.busy_time():.1f}s busy of {result.makespan:.1f}s)"
+        )
+    print("\n" + render_ascii(runtime, width=64))
+    return result.makespan
+
+
+def main():
+    platform = osc_xio(num_compute=2, num_storage=2)
+    batch = generate_sat_batch(12, "high", platform.num_storage, seed=3)
+    print(f"{batch} on 2 compute + 2 storage nodes")
+
+    ip_span = run_and_inspect(
+        "IP (coupled scheduling + replication)",
+        IPScheduler(time_limit=20.0, mip_rel_gap=0.0),
+        batch,
+        platform,
+    )
+    bp_span = run_and_inspect(
+        "BiPartition (decoupled, dynamic staging)",
+        BiPartitionScheduler(seed=0),
+        batch,
+        platform,
+    )
+    print(
+        f"\nIP {ip_span:.2f}s vs BiPartition {bp_span:.2f}s "
+        f"(ratio {bp_span / ip_span:.2f}) — the paper reports BiPartition "
+        "within 5-10% of IP at a fraction of the scheduling cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

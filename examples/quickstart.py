@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: schedule a small batch under all four schedulers.
+
+Builds a 40-task high-overlap biomedical-imaging batch, runs it on a
+simulated OSC/XIO coupled cluster under each scheduler, and prints a
+comparison. This is the smallest end-to-end tour of the public API:
+
+    batch     <- repro.workloads   (what to run)
+    platform  <- repro.osc_xio     (where to run it)
+    run_batch <- repro             (schedule + simulate)
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import available_schedulers, osc_xio, run_batch
+from repro.batch import overlap_fraction
+from repro.workloads import generate_image_batch
+
+
+def main():
+    platform = osc_xio(num_compute=4, num_storage=4)
+    batch = generate_image_batch(
+        num_tasks=40, overlap="high", num_storage=platform.num_storage, seed=0
+    )
+    print(f"Batch: {batch}")
+    print(f"Sharing fraction: {overlap_fraction(batch):.0%}\n")
+
+    print(
+        f"{'scheduler':14s} {'makespan':>10s} {'sched ms/task':>14s} "
+        f"{'remote MB':>10s} {'replica MB':>11s}"
+    )
+    for name in available_schedulers():
+        kwargs = {"time_limit": 20.0, "mip_rel_gap": 0.05} if name == "ip" else {}
+        result = run_batch(
+            batch, platform, name, scheduler_kwargs=kwargs
+        )
+        print(
+            f"{name:14s} {result.makespan:9.1f}s "
+            f"{result.scheduling_ms_per_task:14.2f} "
+            f"{result.stats.remote_volume_mb:10.0f} "
+            f"{result.stats.replication_volume_mb:11.0f}"
+        )
+
+    print(
+        "\nExpected shape (paper, Section 7): ip <= bipartition < jdp <= "
+        "minmin on makespan,\nwhile ip's scheduling overhead dwarfs the rest."
+    )
+
+
+if __name__ == "__main__":
+    main()

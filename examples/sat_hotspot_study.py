@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Satellite data analysis scenario (the paper's SAT application).
+
+Simulates four research groups querying hot-spot regions of a remotely
+sensed dataset (Section 7): 100 window queries against a 50 GB dataset of
+50 MB chunk files, Hilbert-declustered over the storage cluster. Shows how
+the degree of file sharing among queries changes both the absolute batch
+execution time and the payoff of affinity-aware scheduling, on both
+testbeds (fast XIO storage vs. OSUMED behind a shared 100 Mbps link).
+
+Run:  python examples/sat_hotspot_study.py [--tasks 100]
+"""
+
+import argparse
+
+from repro import osc_osumed, osc_xio, run_batch
+from repro.workloads import generate_sat_batch, sat_groups, within_group_overlap
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tasks", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    platforms = {
+        "xio": osc_xio(num_compute=4, num_storage=4),
+        "osumed": osc_osumed(num_compute=4, num_storage=4),
+    }
+    schemes = ("bipartition", "jdp", "minmin")
+
+    for storage, platform in platforms.items():
+        print(f"\n=== {storage.upper()} storage cluster ===")
+        print(f"{'overlap':8s} {'measured':>9s} " + "".join(f"{s:>14s}" for s in schemes))
+        for overlap in ("high", "medium", "low"):
+            batch = generate_sat_batch(
+                args.tasks, overlap, platform.num_storage, seed=args.seed
+            )
+            measured = within_group_overlap(batch, sat_groups(batch))
+            row = f"{overlap:8s} {measured:8.0%} "
+            for scheme in schemes:
+                result = run_batch(batch, platform, scheme)
+                row += f"{result.makespan:13.1f}s"
+            print(row)
+
+    print(
+        "\nReading the table: affinity-aware BiPartition wins most where "
+        "sharing is high;\nthe shared OSUMED link makes every transfer ~17x "
+        "more expensive, so remote-I/O\nminimisation matters much more there."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools entry point; all metadata lives in setup.cfg.
+
+Kept as an explicit file (rather than pyproject.toml) so editable installs
+work in fully offline environments — see the comment in setup.cfg.
+"""
+
+from setuptools import setup
+
+setup()

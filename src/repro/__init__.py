@@ -1,0 +1,77 @@
+"""repro — Task Scheduling and File Replication for Data-Intensive Jobs
+with Batch-shared I/O (HPDC 2006 reproduction).
+
+A complete reimplementation of the paper's system: the coupled 0-1 Integer
+Programming scheduler, the BiPartition bi-level hypergraph scheduler, the
+MinMin and Job-Data-Present baselines, the Section 6 dynamic runtime over a
+Gantt-chart cluster simulator, the SAT/IMAGE workload emulators, and every
+substrate they need (a MILP modeling layer + solvers, a multilevel
+hypergraph partitioner with BINW support).
+
+Quick start::
+
+    from repro import run_batch, osc_xio
+    from repro.workloads import generate_image_batch
+
+    platform = osc_xio(num_compute=4, num_storage=4)
+    batch = generate_image_batch(40, "high", platform.num_storage, seed=0)
+    result = run_batch(batch, platform, "bipartition")
+    print(result.summary())
+"""
+
+from .batch import Batch, FileInfo, Task, overlap_fraction, pairwise_overlap
+from .cluster import (
+    ClusterState,
+    ComputeNode,
+    Platform,
+    Runtime,
+    StorageNode,
+    osc_osumed,
+    osc_xio,
+)
+from .core import (
+    BatchResult,
+    BiPartitionScheduler,
+    IPScheduler,
+    JobDataPresentScheduler,
+    LRUPolicy,
+    MinMinScheduler,
+    PopularityPolicy,
+    Scheduler,
+    SubBatchPlan,
+    SubBatchResult,
+    available_schedulers,
+    make_scheduler,
+    run_batch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Batch",
+    "Task",
+    "FileInfo",
+    "overlap_fraction",
+    "pairwise_overlap",
+    "Platform",
+    "ComputeNode",
+    "StorageNode",
+    "osc_xio",
+    "osc_osumed",
+    "ClusterState",
+    "Runtime",
+    "Scheduler",
+    "IPScheduler",
+    "BiPartitionScheduler",
+    "MinMinScheduler",
+    "JobDataPresentScheduler",
+    "PopularityPolicy",
+    "LRUPolicy",
+    "run_batch",
+    "make_scheduler",
+    "available_schedulers",
+    "BatchResult",
+    "SubBatchPlan",
+    "SubBatchResult",
+    "__version__",
+]

@@ -1,0 +1,301 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``schedulers``
+    List the registered scheduling schemes.
+``workload``
+    Generate a workload and print its sharing statistics.
+``run``
+    Schedule one batch under one or more schemes and print the comparison
+    (optionally dumping a Gantt chart or Chrome trace of the last run).
+``figure``
+    Regenerate one of the paper's figures (fig3a, fig3b, fig4a, fig4b,
+    fig5a, fig5b, fig6a, fig6b) at a chosen scale and print its table.
+
+Examples
+--------
+::
+
+    python -m repro run --workload image --overlap high --tasks 60 \
+        --schemes bipartition minmin --gantt
+    python -m repro figure fig4b --tasks 40 --csv fig4b.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from . import available_schedulers, osc_osumed, osc_xio, run_batch
+from .batch import Batch, overlap_fraction, pairwise_overlap
+from .cluster import ClusterState, Runtime, render_ascii, to_chrome_trace
+from .core import make_scheduler
+from .experiments import (
+    fig3_image_overlap,
+    fig4_sat_overlap,
+    fig5a_replication_benefit,
+    fig5b_batch_size,
+    fig6a_compute_scaling,
+    fig6b_scheduling_overhead,
+)
+from .workloads import (
+    generate_image_batch,
+    generate_sat_batch,
+    generate_synthetic_batch,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _platform(args):
+    maker = osc_xio if args.storage == "xio" else osc_osumed
+    disk = math.inf if args.disk_gb is None else args.disk_gb * 1000.0
+    return maker(
+        num_compute=args.compute,
+        num_storage=args.storage_nodes,
+        disk_space_mb=disk,
+    )
+
+
+def _batch(args, num_storage: int) -> Batch:
+    if args.workload == "sat":
+        return generate_sat_batch(args.tasks, args.overlap, num_storage, args.seed)
+    if args.workload == "image":
+        return generate_image_batch(args.tasks, args.overlap, num_storage, args.seed)
+    return generate_synthetic_batch(
+        args.tasks,
+        num_files=max(args.tasks * 2, 16),
+        files_per_task=4,
+        num_storage=num_storage,
+        hot_probability=0.6,
+        seed=args.seed,
+    )
+
+
+def _add_workload_args(p: argparse.ArgumentParser):
+    p.add_argument("--workload", choices=("sat", "image", "synthetic"), default="image")
+    p.add_argument("--overlap", default="high")
+    p.add_argument("--tasks", type=int, default=40)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--storage", choices=("xio", "osumed"), default="xio")
+    p.add_argument("--compute", type=int, default=4)
+    p.add_argument("--storage-nodes", type=int, default=4)
+    p.add_argument("--disk-gb", type=float, default=None, help="per-node disk (GB); unlimited if omitted")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Batch-shared I/O scheduling (HPDC 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schedulers", help="list registered schemes")
+
+    pw = sub.add_parser("workload", help="generate and describe a workload")
+    _add_workload_args(pw)
+    pw.add_argument("--save", metavar="FILE", help="also write the batch as JSON")
+
+    pr = sub.add_parser("run", help="run one batch under one or more schemes")
+    _add_workload_args(pr)
+    pr.add_argument(
+        "--load", metavar="FILE", help="run a saved batch instead of generating one"
+    )
+    pr.add_argument("--schemes", nargs="+", default=["bipartition", "minmin"])
+    pr.add_argument("--no-replication", action="store_true")
+    pr.add_argument(
+        "--overlap-io",
+        action="store_true",
+        help="relax the no-staging-during-execution assumption",
+    )
+    pr.add_argument("--ip-time-limit", type=float, default=30.0)
+    pr.add_argument("--candidate-limit", type=int, default=None)
+    pr.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart of the last scheme")
+    pr.add_argument("--trace", metavar="FILE", help="write a Chrome trace JSON of the last scheme")
+
+    pf = sub.add_parser("figure", help="regenerate a paper figure")
+    pf.add_argument(
+        "name",
+        choices=(
+            "fig3a", "fig3b", "fig4a", "fig4b",
+            "fig5a", "fig5b", "fig6a", "fig6b",
+        ),
+    )
+    pf.add_argument("--tasks", type=int, default=40, help="tasks for fig3/4/5a")
+    pf.add_argument("--ip-time-limit", type=float, default=15.0)
+    pf.add_argument("--csv", metavar="FILE", help="also write the table as CSV")
+    return parser
+
+
+def _cmd_schedulers(args) -> int:
+    for name in available_schedulers():
+        print(name)
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    platform = _platform(args)
+    batch = _batch(args, platform.num_storage)
+    if args.save:
+        from .io import save_batch
+
+        save_batch(batch, args.save)
+        print(f"batch written to {args.save}")
+    print(batch)
+    print(f"distinct data:     {batch.distinct_file_mb / 1000:.1f} GB")
+    print(f"total accesses:    {batch.total_access_mb / 1000:.1f} GB")
+    print(f"sharing fraction:  {overlap_fraction(batch):.1%}")
+    print(f"pairwise overlap:  {pairwise_overlap(batch, sample_pairs=2000):.1%}")
+    print(f"total compute:     {batch.total_compute_time:.1f} s")
+    print(f"max task footprint {batch.max_task_footprint_mb():.0f} MB")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    platform = _platform(args)
+    if args.load:
+        from .io import load_batch
+
+        batch = load_batch(args.load)
+        bad = [
+            f.file_id
+            for f in batch.files.values()
+            if f.storage_node >= platform.num_storage
+        ]
+        if bad:
+            raise SystemExit(
+                f"batch references storage node(s) beyond --storage-nodes="
+                f"{platform.num_storage}: e.g. {bad[0]}"
+            )
+    else:
+        batch = _batch(args, platform.num_storage)
+    print(f"{batch} on {platform.name} ({platform.num_compute} compute nodes)\n")
+    print(
+        f"{'scheme':14s} {'makespan':>10s} {'sched ms/task':>14s} "
+        f"{'remote MB':>10s} {'replica MB':>11s} {'evict':>6s} {'sub':>4s}"
+    )
+    last_runtime: Runtime | None = None
+    for scheme in args.schemes:
+        kwargs = {}
+        if scheme == "ip":
+            kwargs = {"time_limit": args.ip_time_limit, "mip_rel_gap": 0.05}
+        # Re-create runtime internals manually when a trace is requested so
+        # the timelines stay accessible.
+        if args.gantt or args.trace:
+            scheduler = make_scheduler(scheme, **kwargs)
+            scheduler.reset()
+            state = ClusterState.initial(platform, batch)
+            runtime = Runtime(
+                platform,
+                state,
+                allow_replication=not args.no_replication,
+                candidate_limit=args.candidate_limit,
+                overlap_io_compute=args.overlap_io,
+            )
+            policy = scheduler.eviction_policy(batch)
+            pending = [t.task_id for t in batch.tasks]
+            import time as _time
+
+            sched_s = 0.0
+            sub = 0
+            while pending:
+                t0 = _time.perf_counter()
+                plan = scheduler.next_subbatch(batch, pending, platform, state)
+                sched_s += _time.perf_counter() - t0
+                tasks = [batch.task(t) for t in plan.task_ids]
+                runtime.execute(
+                    tasks,
+                    plan.mapping,
+                    plan.staging,
+                    victim_order=lambda n, c: policy.order(state, n, c),
+                )
+                done = set(plan.task_ids)
+                pending = [t for t in pending if t not in done]
+                sub += 1
+            makespan = runtime.clock
+            stats = state.stats
+            per_task = 1000.0 * sched_s / len(batch)
+            last_runtime = runtime
+        else:
+            result = run_batch(
+                batch,
+                platform,
+                scheme,
+                allow_replication=not args.no_replication,
+                candidate_limit=args.candidate_limit,
+                scheduler_kwargs=kwargs,
+                overlap_io_compute=args.overlap_io,
+            )
+            makespan = result.makespan
+            stats = result.stats
+            per_task = result.scheduling_ms_per_task
+            sub = result.num_sub_batches
+        print(
+            f"{scheme:14s} {makespan:9.1f}s {per_task:14.2f} "
+            f"{stats.remote_volume_mb:10.0f} "
+            f"{stats.replication_volume_mb:11.0f} "
+            f"{stats.evictions:6d} {sub:4d}"
+        )
+
+    if last_runtime is not None and args.gantt:
+        print("\n" + render_ascii(last_runtime))
+    if last_runtime is not None and args.trace:
+        with open(args.trace, "w") as fh:
+            fh.write(to_chrome_trace(last_runtime))
+        print(f"\nChrome trace written to {args.trace}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    name = args.name
+    if name in ("fig3a", "fig3b"):
+        table = fig3_image_overlap(
+            storage="osumed" if name == "fig3a" else "xio",
+            num_tasks=args.tasks,
+            ip_time_limit=args.ip_time_limit,
+        )
+    elif name in ("fig4a", "fig4b"):
+        table = fig4_sat_overlap(
+            storage="osumed" if name == "fig4a" else "xio",
+            num_tasks=args.tasks,
+            ip_time_limit=args.ip_time_limit,
+        )
+    elif name == "fig5a":
+        table = fig5a_replication_benefit(num_tasks=args.tasks)
+    elif name == "fig5b":
+        table = fig5b_batch_size(batch_sizes=(100, 200, 400), disk_space_mb=4000.0)
+    elif name == "fig6a":
+        table = fig6a_compute_scaling(node_counts=(2, 8, 32), num_tasks=200)
+    else:
+        table = fig6b_scheduling_overhead(
+            node_counts=(2, 8, 32), num_tasks=200, ip_task_cap=16,
+            ip_time_limit=args.ip_time_limit,
+        )
+    print(table.render())
+    if args.csv:
+        columns = (
+            "experiment", "workload", "scheme", "x", "makespan_s",
+            "scheduling_ms_per_task", "remote_transfers", "remote_volume_mb",
+            "replications", "replication_volume_mb", "evictions", "sub_batches",
+        )
+        with open(args.csv, "w") as fh:
+            fh.write(table.to_csv(columns) + "\n")
+        print(f"\nCSV written to {args.csv}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "schedulers": _cmd_schedulers,
+        "workload": _cmd_workload,
+        "run": _cmd_run,
+        "figure": _cmd_figure,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Per-compute-node disk caches with pinning and pluggable eviction.
+
+Each compute node's local disk acts as a cache for staged files (Section 4).
+Files used by tasks that are currently staged or running are *pinned* and
+cannot be evicted; everything else is evictable in an order decided by an
+eviction policy (see :mod:`repro.core.eviction`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+__all__ = ["CacheFullError", "DiskCache"]
+
+
+class CacheFullError(RuntimeError):
+    """Raised when required space cannot be freed (pinned set too large)."""
+
+
+@dataclass
+class _Entry:
+    size_mb: float
+    pin_count: int = 0
+    last_use: float = 0.0
+
+
+class DiskCache:
+    """Disk cache of one compute node.
+
+    Parameters
+    ----------
+    capacity_mb:
+        Disk space available; ``math.inf`` models the unlimited-cache case.
+    """
+
+    def __init__(self, node_id: int, capacity_mb: float = math.inf):
+        if capacity_mb <= 0:
+            raise ValueError("capacity must be positive")
+        self.node_id = node_id
+        self.capacity_mb = capacity_mb
+        self._entries: dict[str, _Entry] = {}
+        self._used = 0.0
+        self.evictions = 0
+        self.evicted_volume = 0.0
+
+    # -- queries ---------------------------------------------------------------
+    def __contains__(self, file_id: str) -> bool:
+        return file_id in self._entries
+
+    @property
+    def used_mb(self) -> float:
+        return self._used
+
+    @property
+    def free_mb(self) -> float:
+        return self.capacity_mb - self._used
+
+    @property
+    def files(self) -> tuple[str, ...]:
+        return tuple(self._entries)
+
+    def size_of(self, file_id: str) -> float:
+        return self._entries[file_id].size_mb
+
+    def last_use(self, file_id: str) -> float:
+        return self._entries[file_id].last_use
+
+    def is_pinned(self, file_id: str) -> bool:
+        e = self._entries.get(file_id)
+        return e is not None and e.pin_count > 0
+
+    # -- mutation ----------------------------------------------------------------
+    def add(self, file_id: str, size_mb: float, now: float = 0.0):
+        """Record a staged file; caller must have ensured space first."""
+        if file_id in self._entries:
+            self._entries[file_id].last_use = now
+            return
+        if size_mb > self.free_mb + 1e-9:
+            raise CacheFullError(
+                f"node {self.node_id}: adding {file_id} ({size_mb} MB) exceeds "
+                f"free space {self.free_mb} MB"
+            )
+        self._entries[file_id] = _Entry(size_mb=size_mb, last_use=now)
+        self._used += size_mb
+
+    def remove(self, file_id: str) -> float:
+        """Drop a file (eviction bookkeeping is the caller's job)."""
+        e = self._entries.pop(file_id)
+        self._used -= e.size_mb
+        return e.size_mb
+
+    def touch(self, file_id: str, now: float):
+        self._entries[file_id].last_use = now
+
+    def pin(self, file_id: str):
+        self._entries[file_id].pin_count += 1
+
+    def unpin(self, file_id: str):
+        e = self._entries[file_id]
+        if e.pin_count <= 0:
+            raise ValueError(f"unpin of unpinned file {file_id}")
+        e.pin_count -= 1
+
+    # -- eviction ----------------------------------------------------------------
+    def ensure_space(
+        self,
+        needed_mb: float,
+        victim_order: Callable[[Iterable[str]], list[str]],
+        on_evict: Callable[[str], None] | None = None,
+    ) -> list[str]:
+        """Evict unpinned files until ``needed_mb`` fits; returns victims.
+
+        ``victim_order`` ranks the given candidate file ids most-evictable
+        first (the eviction policy). Raises :class:`CacheFullError` when even
+        evicting every unpinned file is insufficient.
+        """
+        if needed_mb <= self.free_mb + 1e-9:
+            return []
+        candidates = [f for f, e in self._entries.items() if e.pin_count == 0]
+        victims: list[str] = []
+        for f in victim_order(candidates):
+            if needed_mb <= self.free_mb + 1e-9:
+                break
+            size = self.remove(f)
+            victims.append(f)
+            self.evictions += 1
+            self.evicted_volume += size
+            if on_evict:
+                on_evict(f)
+        if needed_mb > self.free_mb + 1e-9:
+            raise CacheFullError(
+                f"node {self.node_id}: cannot free {needed_mb} MB "
+                f"(free {self.free_mb} MB, all remaining files pinned)"
+            )
+        return victims

@@ -1,0 +1,187 @@
+"""Gantt-chart resource timelines with earliest-slot queries.
+
+Section 6 of the paper maintains a Gantt chart per storage and compute node
+and reserves time slots on the source and destination of every transfer.
+:class:`Timeline` stores disjoint busy intervals in sorted order and answers
+``earliest_slot`` queries in O(log n + k); :class:`Overlay` adds *virtual*
+reservations on top of a timeline so task completion times can be evaluated
+tentatively (paper: files are "tentatively scheduled") without mutating the
+real chart; :func:`earliest_common_slot` finds the first instant a set of
+resources is simultaneously free (single-port model: a transfer occupies both
+its endpoints, plus the shared inter-cluster link when present).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Interval", "Timeline", "Overlay", "earliest_common_slot"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed-open busy interval ``[start, end)`` with a debug tag."""
+
+    start: float
+    end: float
+    tag: str = field(default="", compare=False)
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError(f"interval end {self.end} before start {self.start}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Busy intervals of one resource, kept sorted and non-overlapping."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._intervals: list[Interval] = []
+        self._starts: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    @property
+    def intervals(self) -> tuple[Interval, ...]:
+        return tuple(self._intervals)
+
+    @property
+    def horizon(self) -> float:
+        """End of the last reservation (0 when empty)."""
+        return self._intervals[-1].end if self._intervals else 0.0
+
+    def busy_time(self) -> float:
+        return sum(iv.duration for iv in self._intervals)
+
+    def is_free(self, start: float, end: float) -> bool:
+        """True when ``[start, end)`` does not overlap any reservation."""
+        if end - start <= _EPS:
+            return True
+        i = bisect_right(self._starts, start + _EPS)
+        if i > 0 and self._intervals[i - 1].end > start + _EPS:
+            return False
+        if i < len(self._intervals) and self._intervals[i].start < end - _EPS:
+            return False
+        return True
+
+    def next_free(self, t: float) -> float:
+        """Earliest instant >= t that is not inside a reservation."""
+        i = bisect_right(self._starts, t + _EPS)
+        if i > 0 and self._intervals[i - 1].end > t + _EPS:
+            return self._intervals[i - 1].end
+        return t
+
+    def earliest_slot(self, duration: float, not_before: float = 0.0) -> float:
+        """Earliest start >= not_before of a free gap of ``duration``."""
+        if duration <= _EPS:
+            return self.next_free(not_before)
+        t = max(0.0, not_before)
+        i = bisect_right(self._starts, t + _EPS)
+        if i > 0 and self._intervals[i - 1].end > t + _EPS:
+            t = self._intervals[i - 1].end
+        while i < len(self._intervals):
+            nxt = self._intervals[i]
+            if t + duration <= nxt.start + _EPS:
+                return t
+            t = max(t, nxt.end)
+            i += 1
+        return t
+
+    def reserve(self, start: float, duration: float, tag: str = "") -> Interval:
+        """Reserve ``[start, start+duration)``; the slot must be free."""
+        iv = Interval(start, start + duration, tag)
+        if not self.is_free(iv.start, iv.end):
+            raise ValueError(
+                f"timeline {self.name!r}: slot [{start}, {start + duration}) is busy"
+            )
+        idx = bisect_right(self._starts, iv.start)
+        self._intervals.insert(idx, iv)
+        self._starts.insert(idx, iv.start)
+        return iv
+
+    def __repr__(self):
+        return f"Timeline({self.name!r}, {len(self)} reservations)"
+
+
+class Overlay:
+    """A timeline view with extra virtual reservations (copy-on-write).
+
+    Used when evaluating a task's earliest completion time: the transfers of
+    the candidate task are placed on overlays so they constrain each other
+    without touching the real Gantt chart. ``commit`` replays the virtual
+    reservations onto the base timeline.
+    """
+
+    def __init__(self, base: Timeline):
+        self.base = base
+        self.virtual: list[Interval] = []
+
+    def is_free(self, start: float, end: float) -> bool:
+        if not self.base.is_free(start, end):
+            return False
+        return all(
+            iv.end <= start + _EPS or iv.start >= end - _EPS for iv in self.virtual
+        )
+
+    def earliest_slot(self, duration: float, not_before: float = 0.0) -> float:
+        t = max(0.0, not_before)
+        # Alternate between the base timeline and virtual intervals until
+        # a common gap is found; terminates because t only increases.
+        for _ in range(10 * (len(self.virtual) + len(self.base) + 2)):
+            t2 = self.base.earliest_slot(duration, t)
+            bumped = False
+            for iv in self.virtual:
+                if iv.start < t2 + duration - _EPS and iv.end > t2 + _EPS:
+                    t2 = max(t2, iv.end)
+                    bumped = True
+            if not bumped:
+                return t2
+            t = t2
+        raise RuntimeError("earliest_slot failed to converge")  # pragma: no cover
+
+    def reserve(self, start: float, duration: float, tag: str = "") -> Interval:
+        iv = Interval(start, start + duration, tag)
+        if not self.is_free(iv.start, iv.end):
+            raise ValueError(f"overlay of {self.base.name!r}: slot busy")
+        self.virtual.append(iv)
+        return iv
+
+    def commit(self):
+        """Write all virtual reservations through to the base timeline."""
+        for iv in self.virtual:
+            self.base.reserve(iv.start, iv.duration, iv.tag)
+        self.virtual.clear()
+
+
+def earliest_common_slot(
+    resources: Sequence[Timeline | Overlay],
+    duration: float,
+    not_before: float = 0.0,
+) -> float:
+    """Earliest start where *all* resources are free for ``duration``.
+
+    Fixpoint iteration over per-resource ``earliest_slot``: each round pushes
+    the candidate start to the latest per-resource feasible start; stable
+    point = common slot. Terminates because the candidate is non-decreasing
+    and each timeline has finitely many reservations.
+    """
+    if not resources:
+        return max(0.0, not_before)
+    t = max(0.0, not_before)
+    for _ in range(100_000):
+        t_new = t
+        for res in resources:
+            t_new = max(t_new, res.earliest_slot(duration, t_new))
+        if t_new <= t + _EPS:
+            return t_new
+        t = t_new
+    raise RuntimeError("earliest_common_slot failed to converge")  # pragma: no cover

@@ -1,0 +1,475 @@
+"""Dynamic task ordering and file staging — Section 6 of the paper.
+
+Given a mapping of tasks onto compute nodes (from any scheduler), this engine
+decides *when* tasks run and *where* each file transfer comes from, by
+maintaining Gantt charts for every storage node, compute node and the shared
+inter-cluster link (when present):
+
+* Tasks assigned to a node form a *group*; within each group the next task is
+  the one with the least *earliest completion time* (ECT), evaluated against
+  the current Gantt charts.
+* A task's ECT is found by tentatively scheduling its missing file transfers
+  one by one, always picking the file with the minimum transfer completion
+  time (TCT) over all its possible sources (the storage node holding it, or
+  any compute node that has a replica), then placing its execution (local
+  read + CPU) after the last transfer.
+* Initially the globally best task is committed first, then the best task of
+  every other group (re-evaluated after each commit); afterwards, whenever a
+  task completes, the next-best task from its group is committed — exactly
+  the policy described in the paper.
+
+Single-port model: a transfer occupies both endpoints' timelines; a compute
+node's timeline also carries task execution, so no file is staged on a node
+while a task executes there (the paper's non-overlap assumption, Eq. 12).
+
+When an IP transfer plan is supplied, source selection follows the plan
+instead of the dynamic minimum-TCT rule (with a dynamic fallback if the
+planned source no longer holds the file), mirroring the paper's "minor
+modification" for realising the IP solution at run time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..batch import Batch, Task
+from .cache import CacheFullError
+from .gantt import Overlay, Timeline, earliest_common_slot
+from .platform import Platform
+from .state import ClusterState, TransferStats
+from .stats import ExecutionResult, TaskRecord
+
+__all__ = ["PlannedSource", "StagingPlan", "Runtime"]
+
+
+@dataclass(frozen=True)
+class PlannedSource:
+    """A transfer source fixed by the IP solution.
+
+    ``kind`` is ``"remote"`` (from the storage cluster) or ``"replica"``
+    (from compute node ``source_node``).
+    """
+
+    kind: str
+    source_node: int | None = None
+
+    def __post_init__(self):
+        if self.kind not in ("remote", "replica"):
+            raise ValueError(f"bad source kind {self.kind!r}")
+        if self.kind == "replica" and self.source_node is None:
+            raise ValueError("replica source requires source_node")
+
+
+@dataclass
+class StagingPlan:
+    """Static staging decisions attached to a sub-batch mapping.
+
+    ``sources`` fixes the source for (file, destination-node) pairs (IP
+    scheduler). ``pushes`` are proactive transfers executed before the tasks
+    start (the Data-Least-Loaded replications of the JDP baseline).
+    """
+
+    sources: dict[tuple[str, int], PlannedSource] = field(default_factory=dict)
+    pushes: list[tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class _Tentative:
+    """A tentatively scheduled task: its transfers and execution slot."""
+
+    task: Task
+    node: int
+    overlays: dict[str, Overlay]
+    transfers: list[tuple[str, str, int | None, float, float]]
+    # (file_id, kind, source_node, start, duration)
+    transfers_done: float
+    exec_start: float
+    ect: float
+
+
+class Runtime:
+    """The Section 6 execution engine over one persistent set of Gantt charts.
+
+    One ``Runtime`` lives for a whole batch run; sub-batches are executed
+    sequentially through :meth:`execute`, each starting at the previous
+    makespan (the driver applies eviction between them).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        state: ClusterState,
+        allow_replication: bool = True,
+        candidate_limit: int | None = None,
+        ordering: str = "ect",
+        overlap_io_compute: bool = False,
+    ):
+        if ordering not in ("ect", "fifo"):
+            raise ValueError(f"ordering must be 'ect' or 'fifo', got {ordering!r}")
+        self.platform = platform
+        self.state = state
+        self.allow_replication = allow_replication
+        self.candidate_limit = candidate_limit
+        self.ordering = ordering
+        # The paper assumes no file is staged on a node while a task runs
+        # there (Eq. 12): port and CPU share one timeline. Setting
+        # ``overlap_io_compute`` relaxes that (a future-work ablation):
+        # execution moves to a dedicated per-node CPU timeline so staging
+        # for the next task can proceed during computation.
+        self.overlap_io_compute = overlap_io_compute
+        self.clock = 0.0
+        self.node_tl = [Timeline(f"compute{i}") for i in range(platform.num_compute)]
+        self.cpu_tl = (
+            [Timeline(f"cpu{i}") for i in range(platform.num_compute)]
+            if overlap_io_compute
+            else None
+        )
+        self.storage_tl = [
+            Timeline(f"storage{s}") for s in range(platform.num_storage)
+        ]
+        self.link_tl = (
+            Timeline("shared-link") if platform.shared_link_bw is not None else None
+        )
+        # (node, file) -> absolute time the copy becomes usable
+        self._avail: dict[tuple[int, str], float] = {}
+
+    # -- resource helpers -------------------------------------------------------
+    def _key(self, tl: Timeline) -> str:
+        return tl.name
+
+    def _overlay(self, overlays: dict[str, Overlay], tl: Timeline) -> Overlay:
+        key = self._key(tl)
+        if key not in overlays:
+            overlays[key] = Overlay(tl)
+        return overlays[key]
+
+    def _avail_time(self, node: int, file_id: str) -> float:
+        return self._avail.get((node, file_id), self.clock)
+
+    # -- source enumeration --------------------------------------------------------
+    def _dynamic_sources(
+        self, file_id: str, dest: int
+    ) -> list[tuple[str, int | None]]:
+        """All places ``file_id`` can come from: ``(kind, source_node)``."""
+        sources: list[tuple[str, int | None]] = [("remote", None)]
+        if self.allow_replication:
+            for holder in self.state.holders(file_id):
+                if holder != dest:
+                    sources.append(("replica", holder))
+        return sources
+
+    def _sources_for(
+        self, file_id: str, dest: int, plan: StagingPlan | None
+    ) -> list[tuple[str, int | None]]:
+        if plan is not None:
+            planned = plan.sources.get((file_id, dest))
+            if planned is not None:
+                if planned.kind == "remote":
+                    return [("remote", None)]
+                src = planned.source_node
+                assert src is not None
+                if self.state.has_file(src, file_id):
+                    return [("replica", src)]
+                # Planned replica source lost (evicted): dynamic fallback.
+        return self._dynamic_sources(file_id, dest)
+
+    # -- transfer timing ------------------------------------------------------------
+    def _transfer_resources(
+        self, kind: str, source_node: int | None, dest: int, file_id: str,
+        overlays: dict[str, Overlay],
+    ) -> tuple[list[Overlay], float, float]:
+        """Overlays involved in a transfer, its bandwidth and earliest start."""
+        dest_ov = self._overlay(overlays, self.node_tl[dest])
+        if kind == "remote":
+            storage = self.state.storage_node_of(file_id)
+            res = [dest_ov, self._overlay(overlays, self.storage_tl[storage])]
+            if self.link_tl is not None:
+                res.append(self._overlay(overlays, self.link_tl))
+            bw = self.platform.remote_bandwidth(storage)
+            ready = self.clock
+        else:
+            assert source_node is not None
+            res = [dest_ov, self._overlay(overlays, self.node_tl[source_node])]
+            bw = self.platform.replication_bandwidth
+            ready = self._avail_time(source_node, file_id)
+        return res, bw, ready
+
+    # -- tentative evaluation (ECT) ---------------------------------------------------
+    def evaluate(
+        self, task: Task, node: int, plan: StagingPlan | None = None
+    ) -> _Tentative:
+        """Tentatively schedule ``task`` on ``node``; nothing is committed."""
+        overlays: dict[str, Overlay] = {}
+        missing = [f for f in task.files if not self.state.has_file(node, f)]
+        present_avail = [
+            self._avail_time(node, f) for f in task.files if f not in missing
+        ]
+        transfers: list[tuple[str, str, int | None, float, float]] = []
+        transfers_done = max(present_avail, default=self.clock)
+
+        remaining = list(missing)
+        while remaining:
+            best = None  # (tct, file, kind, src, start, duration, resources)
+            for f in remaining:
+                size = self.state.size_of(f)
+                for kind, src in self._sources_for(f, node, plan):
+                    res, bw, ready = self._transfer_resources(
+                        kind, src, node, f, overlays
+                    )
+                    duration = size / bw
+                    start = earliest_common_slot(
+                        res, duration, max(self.clock, ready)
+                    )
+                    tct = start + duration
+                    if best is None or tct < best[0]:
+                        best = (tct, f, kind, src, start, duration, res)
+            assert best is not None
+            tct, f, kind, src, start, duration, res = best
+            for ov in res:
+                ov.reserve(start, duration, tag=f"xfer:{f}->{node}")
+            transfers.append((f, kind, src, start, duration))
+            transfers_done = max(transfers_done, tct)
+            remaining.remove(f)
+
+        # Execution: local read of all inputs plus CPU time, after every
+        # input file is available. Runs on the node timeline (port + CPU
+        # mutually exclusive, the paper's model) or on the dedicated CPU
+        # timeline in overlap mode.
+        read = sum(
+            self.platform.local_read_time(node, self.state.size_of(f))
+            for f in task.files
+        )
+        exec_dur = read + self.platform.task_compute_time(node, task.compute_time)
+        exec_tl = (
+            self.cpu_tl[node] if self.cpu_tl is not None else self.node_tl[node]
+        )
+        dest_ov = self._overlay(overlays, exec_tl)
+        exec_start = dest_ov.earliest_slot(
+            exec_dur, max(transfers_done, self.clock)
+        )
+        dest_ov.reserve(exec_start, exec_dur, tag=f"exec:{task.task_id}")
+        return _Tentative(
+            task=task,
+            node=node,
+            overlays=overlays,
+            transfers=transfers,
+            transfers_done=transfers_done,
+            exec_start=exec_start,
+            ect=exec_start + exec_dur,
+        )
+
+    # -- committing ---------------------------------------------------------------------
+    def _commit(
+        self,
+        tent: _Tentative,
+        victim_order: Callable[[int, Iterable[str]], list[str]],
+    ) -> TaskRecord:
+        """Write a tentative schedule through to the real Gantt charts."""
+        node = tent.node
+        cache = self.state.caches[node]
+
+        # Pin the already-present inputs first so on-demand eviction cannot
+        # take files this task is about to use.
+        incoming_ids = {f for f, *_ in tent.transfers}
+        for f in tent.task.files:
+            if f not in incoming_ids:
+                cache.pin(f)
+
+        # Make room for the incoming files, evicting per policy.
+        needed = sum(self.state.size_of(f) for f in incoming_ids)
+        if needed > 0:
+            cache.ensure_space(
+                needed,
+                victim_order=lambda cands: victim_order(node, cands),
+                on_evict=lambda fid: self._on_evict(node, fid),
+            )
+
+        for ov in tent.overlays.values():
+            ov.commit()
+        for f, kind, src, start, duration in tent.transfers:
+            size = self.state.size_of(f)
+            self.state.place(node, f, now=start + duration)
+            self._avail[(node, f)] = start + duration
+            cache.pin(f)
+            if kind == "remote":
+                self.state.record_remote(size)
+            else:
+                self.state.record_replication(size)
+        for f in tent.task.files:
+            cache.touch(f, tent.ect)
+        return TaskRecord(
+            task_id=tent.task.task_id,
+            node=node,
+            transfers_done=tent.transfers_done,
+            exec_start=tent.exec_start,
+            completion=tent.ect,
+        )
+
+    def _on_evict(self, node: int, file_id: str):
+        # ensure_space has already dropped the cache entry; mirror the global
+        # holder map, availability table and statistics.
+        self.state.note_evicted(node, file_id)
+        self._avail.pop((node, file_id), None)
+
+    def _release(self, task: Task, node: int):
+        cache = self.state.caches[node]
+        for f in task.files:
+            cache.unpin(f)
+
+    # -- proactive pushes (Data Least Loaded) ------------------------------------------
+    def _stage_push(self, file_id: str, dest: int,
+                    victim_order: Callable[[int, Iterable[str]], list[str]]):
+        """Proactively replicate ``file_id`` onto ``dest`` (DLL baseline)."""
+        if self.state.has_file(dest, file_id):
+            return
+        size = self.state.size_of(file_id)
+        cache = self.state.caches[dest]
+        try:
+            cache.ensure_space(
+                size,
+                victim_order=lambda cands: victim_order(dest, cands),
+                on_evict=lambda fid: self._on_evict(dest, fid),
+            )
+        except CacheFullError:
+            return  # skip the push rather than fail the run
+        best = None
+        overlays: dict[str, Overlay] = {}
+        for kind, src in self._dynamic_sources(file_id, dest):
+            res, bw, ready = self._transfer_resources(
+                kind, src, dest, file_id, overlays
+            )
+            duration = size / bw
+            start = earliest_common_slot(res, duration, max(self.clock, ready))
+            if best is None or start + duration < best[0]:
+                best = (start + duration, kind, src, start, duration, res)
+        assert best is not None
+        tct, kind, src, start, duration, res = best
+        for ov in res:
+            ov.reserve(start, duration, tag=f"push:{file_id}->{dest}")
+        for ov in overlays.values():
+            ov.commit()
+        self.state.place(dest, file_id, now=tct)
+        self._avail[(dest, file_id)] = tct
+        if kind == "remote":
+            self.state.record_remote(size)
+        else:
+            self.state.record_replication(size)
+
+    # -- main loop ---------------------------------------------------------------------
+    def execute(
+        self,
+        tasks: Sequence[Task],
+        mapping: Mapping[str, int],
+        plan: StagingPlan | None = None,
+        victim_order: Callable[[int, Iterable[str]], list[str]] | None = None,
+    ) -> ExecutionResult:
+        """Execute a sub-batch; returns timings and advances the clock.
+
+        ``mapping`` sends every task id to a compute node. ``victim_order``
+        ranks eviction candidates (most evictable first) for on-demand cache
+        eviction; default is size-ascending.
+        """
+        if victim_order is None:
+            victim_order = lambda node, cands: sorted(
+                cands, key=lambda f: self.state.size_of(f)
+            )
+        start_time = self.clock
+        for t in tasks:
+            if t.task_id not in mapping:
+                raise ValueError(f"task {t.task_id} missing from mapping")
+            n = mapping[t.task_id]
+            if not 0 <= n < self.platform.num_compute:
+                raise ValueError(f"task {t.task_id} mapped to bad node {n}")
+
+        if plan is not None:
+            for file_id, dest in plan.pushes:
+                self._stage_push(file_id, dest, victim_order)
+
+        groups: dict[int, list[Task]] = {}
+        for t in tasks:
+            groups.setdefault(mapping[t.task_id], []).append(t)
+
+        base_stats = TransferStats(
+            self.state.stats.remote_transfers,
+            self.state.stats.remote_volume_mb,
+            self.state.stats.replications,
+            self.state.stats.replication_volume_mb,
+            self.state.stats.evictions,
+            self.state.stats.evicted_volume_mb,
+        )
+
+        records: list[TaskRecord] = []
+        events: list[tuple[float, int, int, Task]] = []  # (ect, seq, node, task)
+        seq = 0
+
+        def candidates(node: int) -> list[Task]:
+            pend = groups[node]
+            if self.ordering == "fifo":
+                return pend[:1]  # ablation mode: submission order, no ECT scan
+            if self.candidate_limit is None or len(pend) <= self.candidate_limit:
+                return pend
+            # Cheap pre-filter: tasks needing the least missing volume first.
+            def missing_mb(t: Task) -> float:
+                return sum(
+                    self.state.size_of(f)
+                    for f in t.files
+                    if not self.state.has_file(node, f)
+                )
+            return sorted(pend, key=missing_mb)[: self.candidate_limit]
+
+        def best_of(node: int) -> _Tentative:
+            tents = [self.evaluate(t, node, plan) for t in candidates(node)]
+            return min(tents, key=lambda x: x.ect)
+
+        def commit_next(node: int):
+            nonlocal seq
+            tent = best_of(node)
+            groups[node].remove(tent.task)
+            if not groups[node]:
+                del groups[node]
+            records.append(self._commit(tent, victim_order))
+            heapq.heappush(events, (tent.ect, seq, node, tent.task))
+            seq += 1
+
+        # Initial commits: globally best first, then each remaining group's
+        # best in ECT order (re-evaluated after every commit).
+        uncommitted = set(groups)
+        while uncommitted:
+            best_node = None
+            best_ect = float("inf")
+            for node in uncommitted:
+                tent = best_of(node)
+                if tent.ect < best_ect:
+                    best_node, best_ect = node, tent.ect
+            assert best_node is not None
+            commit_next(best_node)
+            uncommitted.discard(best_node)
+            uncommitted &= set(groups)
+
+        # Event loop: when a task completes, schedule that group's next task.
+        makespan = start_time
+        while events:
+            ect, _, node, task = heapq.heappop(events)
+            makespan = max(makespan, ect)
+            self._release(task, node)
+            if node in groups:
+                commit_next(node)
+
+        self.clock = max(self.clock, makespan)
+        delta = TransferStats(
+            self.state.stats.remote_transfers - base_stats.remote_transfers,
+            self.state.stats.remote_volume_mb - base_stats.remote_volume_mb,
+            self.state.stats.replications - base_stats.replications,
+            self.state.stats.replication_volume_mb
+            - base_stats.replication_volume_mb,
+            self.state.stats.evictions - base_stats.evictions,
+            self.state.stats.evicted_volume_mb - base_stats.evicted_volume_mb,
+        )
+        return ExecutionResult(
+            start_time=start_time,
+            makespan=makespan,
+            records=records,
+            stats=delta,
+        )

@@ -1,0 +1,137 @@
+"""Cluster-wide file placement state shared across sub-batch executions.
+
+Tracks which compute nodes hold which files (the storage cluster always
+retains the authoritative copy), per-node disk caches, and global transfer
+statistics. The state persists across sub-batches: "subsequent iterations
+... model the fact that copies of some files have already been created on
+the compute cluster due to previous sub-batch executions" (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..batch import Batch, FileInfo
+from .cache import DiskCache
+from .platform import Platform
+
+__all__ = ["TransferStats", "ClusterState"]
+
+
+@dataclass
+class TransferStats:
+    """Aggregate transfer/eviction counters across a run."""
+
+    remote_transfers: int = 0
+    remote_volume_mb: float = 0.0
+    replications: int = 0
+    replication_volume_mb: float = 0.0
+    evictions: int = 0
+    evicted_volume_mb: float = 0.0
+
+    def merge(self, other: "TransferStats") -> "TransferStats":
+        return TransferStats(
+            self.remote_transfers + other.remote_transfers,
+            self.remote_volume_mb + other.remote_volume_mb,
+            self.replications + other.replications,
+            self.replication_volume_mb + other.replication_volume_mb,
+            self.evictions + other.evictions,
+            self.evicted_volume_mb + other.evicted_volume_mb,
+        )
+
+
+class ClusterState:
+    """File placement on the compute cluster plus file catalog access."""
+
+    def __init__(self, platform: Platform, files: dict[str, FileInfo]):
+        self.platform = platform
+        self.files = dict(files)
+        self.caches = [
+            DiskCache(n.node_id, n.disk_space_mb) for n in platform.compute_nodes
+        ]
+        # file id -> set of compute nodes currently holding it
+        self._holders: dict[str, set[int]] = {}
+        self.stats = TransferStats()
+
+    @classmethod
+    def initial(cls, platform: Platform, batch: Batch) -> "ClusterState":
+        """All files on the storage cluster only (the paper's assumption)."""
+        return cls(platform, batch.files)
+
+    def register_files(self, files: dict[str, FileInfo]):
+        """Add catalog entries (e.g. when running successive batches)."""
+        self.files.update(files)
+
+    # -- queries ---------------------------------------------------------------
+    def holders(self, file_id: str) -> frozenset[int]:
+        """Compute nodes currently caching ``file_id``."""
+        return frozenset(self._holders.get(file_id, ()))
+
+    def num_copies(self, file_id: str) -> int:
+        """Copies on the compute cluster (``Numcopies`` of Eq. 22)."""
+        return len(self._holders.get(file_id, ()))
+
+    def has_file(self, node_id: int, file_id: str) -> bool:
+        return file_id in self.caches[node_id]
+
+    def size_of(self, file_id: str) -> float:
+        return self.files[file_id].size_mb
+
+    def storage_node_of(self, file_id: str) -> int:
+        return self.files[file_id].storage_node
+
+    def files_on(self, node_id: int) -> tuple[str, ...]:
+        return self.caches[node_id].files
+
+    # -- mutation ---------------------------------------------------------------
+    def place(self, node_id: int, file_id: str, now: float = 0.0):
+        """Record that ``file_id`` is now cached on ``node_id``."""
+        self.caches[node_id].add(file_id, self.size_of(file_id), now)
+        self._holders.setdefault(file_id, set()).add(node_id)
+
+    def drop(self, node_id: int, file_id: str):
+        """Remove a cached copy (explicit eviction between sub-batches)."""
+        self.caches[node_id].remove(file_id)
+        self._forget_holder(node_id, file_id)
+
+    def evict(self, node_id: int, file_id: str):
+        """Drop a cached copy and record it as an eviction."""
+        self.drop(node_id, file_id)
+        self.record_eviction(self.size_of(file_id))
+
+    def note_evicted(self, node_id: int, file_id: str):
+        """Bookkeeping after the cache itself removed a file on demand."""
+        self._forget_holder(node_id, file_id)
+        self.record_eviction(self.size_of(file_id))
+
+    def _forget_holder(self, node_id: int, file_id: str):
+        holders = self._holders.get(file_id)
+        if holders:
+            holders.discard(node_id)
+            if not holders:
+                del self._holders[file_id]
+
+    def record_remote(self, size_mb: float):
+        self.stats.remote_transfers += 1
+        self.stats.remote_volume_mb += size_mb
+
+    def record_replication(self, size_mb: float):
+        self.stats.replications += 1
+        self.stats.replication_volume_mb += size_mb
+
+    def record_eviction(self, size_mb: float):
+        self.stats.evictions += 1
+        self.stats.evicted_volume_mb += size_mb
+
+    def check_consistency(self):
+        """Invariant check used by tests: holder sets match cache contents."""
+        for node in self.caches:
+            for f in node.files:
+                assert node.node_id in self._holders.get(f, set()), (
+                    f"file {f} cached on {node.node_id} but not in holders"
+                )
+        for f, hs in self._holders.items():
+            for n in hs:
+                assert f in self.caches[n], (
+                    f"holders claim {f} on node {n} but cache disagrees"
+                )

@@ -1,0 +1,39 @@
+"""Execution result records produced by the runtime engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .state import TransferStats
+
+__all__ = ["TaskRecord", "ExecutionResult"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Timing of one executed task."""
+
+    task_id: str
+    node: int
+    transfers_done: float  # when the last input file became available
+    exec_start: float
+    completion: float
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing one sub-batch through the runtime engine."""
+
+    start_time: float
+    makespan: float  # absolute completion time of the last task
+    records: list[TaskRecord] = field(default_factory=list)
+    stats: TransferStats = field(default_factory=TransferStats)
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock duration of this sub-batch."""
+        return self.makespan - self.start_time
+
+    @property
+    def completion_order(self) -> list[str]:
+        return [r.task_id for r in sorted(self.records, key=lambda r: r.completion)]

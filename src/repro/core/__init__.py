@@ -1,0 +1,60 @@
+"""The paper's primary contribution: batch schedulers coupling task
+scheduling and file replication, plus the execution driver.
+
+Schedulers (all registered by name for :func:`run_batch`):
+
+* ``"ip"`` — 0-1 Integer Programming, coupled scheduling + replication
+  (Section 4; best quality, heavy scheduling overhead).
+* ``"bipartition"`` — bi-level hypergraph partitioning (Section 5; within
+  5–10 % of IP at a tiny fraction of the cost).
+* ``"minmin"`` — MinMin with implicit replication (baseline).
+* ``"jdp"`` — batch-mode Job Data Present with Data Least Loaded
+  replication and LRU eviction (baseline, Ranganathan & Foster).
+"""
+
+from ..batch import Batch, FileInfo, Task, overlap_fraction, pairwise_overlap
+from .base import (
+    Scheduler,
+    available_schedulers,
+    make_scheduler,
+    register_scheduler,
+)
+from .bipartition import BiPartitionScheduler, estimated_exec_times
+from .driver import run_batch
+from .eviction import EvictionPolicy, LRUPolicy, PopularityPolicy, SizePolicy
+from .ip_scheduler import IPScheduler
+from .jdp import JobDataPresentScheduler
+from .mct_family import MaxMinScheduler, SufferageScheduler
+from .minmin import MinMinScheduler
+from .plan import BatchResult, SubBatchPlan, SubBatchResult
+from .validate import ValidationReport, Violation, validate_plan
+
+__all__ = [
+    "Batch",
+    "Task",
+    "FileInfo",
+    "overlap_fraction",
+    "pairwise_overlap",
+    "Scheduler",
+    "register_scheduler",
+    "make_scheduler",
+    "available_schedulers",
+    "IPScheduler",
+    "BiPartitionScheduler",
+    "MinMinScheduler",
+    "MaxMinScheduler",
+    "SufferageScheduler",
+    "JobDataPresentScheduler",
+    "estimated_exec_times",
+    "run_batch",
+    "SubBatchPlan",
+    "SubBatchResult",
+    "BatchResult",
+    "EvictionPolicy",
+    "PopularityPolicy",
+    "LRUPolicy",
+    "SizePolicy",
+    "validate_plan",
+    "ValidationReport",
+    "Violation",
+]

@@ -1,0 +1,55 @@
+"""MCT-family heuristics: MaxMin and Sufferage (extension baselines).
+
+The paper's related work (Casanova et al. [4]) adapts three classic
+task-farming heuristics — MinMin, MaxMin, Sufferage — to data-aware
+scheduling. The paper evaluates only MinMin; these two complete the family
+and share its machinery entirely (file-placement-aware minimum completion
+times with implicit replication, vectorised in
+:class:`~repro.core.minmin.MinMinScheduler`), overriding only the rule that
+picks which task to commit from the MCT matrix:
+
+* **MaxMin** — among the per-task best completion times, commit the task
+  whose best is *largest* first (big tasks early, small ones fill gaps).
+* **Sufferage** — commit the task that would *suffer* most if denied its
+  best node, i.e. with the largest gap between its best and second-best
+  completion times.
+
+Both produce whole-batch mappings executed by the Section 6 runtime and are
+registered as ``"maxmin"`` and ``"sufferage"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import register_scheduler
+from .minmin import MinMinScheduler
+
+__all__ = ["MaxMinScheduler", "SufferageScheduler"]
+
+
+@register_scheduler("maxmin")
+class MaxMinScheduler(MinMinScheduler):
+    """MaxMin: commit the task with the *largest* best completion time."""
+
+    def _pick(self, mct: np.ndarray) -> tuple[int, int]:
+        best_per_task = mct.min(axis=1)
+        rows = np.flatnonzero(np.isfinite(best_per_task))
+        k = int(rows[np.argmax(best_per_task[rows])])
+        return k, int(np.argmin(mct[k]))
+
+
+@register_scheduler("sufferage")
+class SufferageScheduler(MinMinScheduler):
+    """Sufferage: commit the task with the largest best/second-best gap."""
+
+    def _pick(self, mct: np.ndarray) -> tuple[int, int]:
+        rows = np.flatnonzero(np.isfinite(mct.min(axis=1)))
+        if mct.shape[1] == 1:
+            # Single node: sufferage degenerates to MinMin.
+            k = int(rows[np.argmin(mct[rows, 0])])
+            return k, 0
+        part = np.partition(mct[rows], 1, axis=1)
+        sufferage = part[:, 1] - part[:, 0]
+        k = int(rows[np.argmax(sufferage)])
+        return k, int(np.argmin(mct[k]))

@@ -1,0 +1,76 @@
+"""Scheduling plan and result types shared by all schedulers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.runtime import StagingPlan
+from ..cluster.state import TransferStats
+from ..cluster.stats import ExecutionResult
+
+__all__ = ["SubBatchPlan", "SubBatchResult", "BatchResult"]
+
+
+@dataclass
+class SubBatchPlan:
+    """One sub-batch ready for execution.
+
+    ``mapping`` sends each task id to a compute node. ``staging`` optionally
+    fixes transfer sources (IP) or requests proactive pushes (JDP+DLL);
+    ``None`` leaves all staging decisions to the dynamic Section 6 runtime.
+    """
+
+    task_ids: list[str]
+    mapping: dict[str, int]
+    staging: StagingPlan | None = None
+
+    def __post_init__(self):
+        missing = [t for t in self.task_ids if t not in self.mapping]
+        if missing:
+            raise ValueError(f"tasks without node assignment: {missing[:5]}")
+
+
+@dataclass
+class SubBatchResult:
+    """Execution outcome of one sub-batch plus its scheduling cost."""
+
+    plan: SubBatchPlan
+    execution: ExecutionResult
+    scheduling_seconds: float
+
+
+@dataclass
+class BatchResult:
+    """End-to-end result of running a batch under one scheduler."""
+
+    scheduler: str
+    makespan: float
+    scheduling_seconds: float
+    sub_batches: list[SubBatchResult] = field(default_factory=list)
+    stats: TransferStats = field(default_factory=TransferStats)
+
+    @property
+    def num_sub_batches(self) -> int:
+        return len(self.sub_batches)
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(len(sb.plan.task_ids) for sb in self.sub_batches)
+
+    @property
+    def scheduling_ms_per_task(self) -> float:
+        """Per-task scheduling overhead in milliseconds (Fig. 6b's metric)."""
+        n = self.num_tasks
+        return 1000.0 * self.scheduling_seconds / n if n else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.scheduler}: makespan {self.makespan:.1f}s over "
+            f"{self.num_tasks} tasks in {self.num_sub_batches} sub-batch(es); "
+            f"remote {self.stats.remote_transfers} "
+            f"({self.stats.remote_volume_mb:.0f} MB), "
+            f"replications {self.stats.replications} "
+            f"({self.stats.replication_volume_mb:.0f} MB), "
+            f"evictions {self.stats.evictions}; "
+            f"scheduling {self.scheduling_ms_per_task:.2f} ms/task"
+        )

@@ -1,0 +1,30 @@
+"""Experiment harness reproducing every figure of the paper's evaluation."""
+
+from .figures import (
+    fig3_image_overlap,
+    fig4_sat_overlap,
+    fig5a_replication_benefit,
+    fig5b_batch_size,
+    fig6a_compute_scaling,
+    fig6b_scheduling_overhead,
+)
+from .markdown import generate_experiments_markdown
+from .report import Record, Table
+from .runner import ExperimentConfig, default_scheduler_kwargs, run_config
+from .sensitivity import replication_advantage_sweep
+
+__all__ = [
+    "ExperimentConfig",
+    "run_config",
+    "default_scheduler_kwargs",
+    "Record",
+    "Table",
+    "fig3_image_overlap",
+    "fig4_sat_overlap",
+    "fig5a_replication_benefit",
+    "fig5b_batch_size",
+    "fig6a_compute_scaling",
+    "fig6b_scheduling_overhead",
+    "replication_advantage_sweep",
+    "generate_experiments_markdown",
+]

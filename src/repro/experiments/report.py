@@ -1,0 +1,82 @@
+"""ASCII-table / CSV reporting for experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Record", "Table"]
+
+
+@dataclass(frozen=True)
+class Record:
+    """One experiment data point (a bar or curve point in a paper figure)."""
+
+    experiment: str
+    workload: str
+    scheme: str
+    x: float | str  # overlap level, batch size, node count, ...
+    makespan_s: float
+    scheduling_ms_per_task: float = 0.0
+    remote_transfers: int = 0
+    remote_volume_mb: float = 0.0
+    replications: int = 0
+    replication_volume_mb: float = 0.0
+    evictions: int = 0
+    sub_batches: int = 1
+
+
+@dataclass
+class Table:
+    """A printable result table, one row per record."""
+
+    title: str
+    records: list[Record] = field(default_factory=list)
+
+    def add(self, record: Record):
+        self.records.append(record)
+
+    def rows(self, columns: Sequence[str]) -> list[list[str]]:
+        out = []
+        for r in self.records:
+            row = []
+            for col in columns:
+                v = getattr(r, col)
+                row.append(f"{v:.2f}" if isinstance(v, float) else str(v))
+            out.append(row)
+        return out
+
+    def render(
+        self,
+        columns: Sequence[str] = (
+            "workload",
+            "scheme",
+            "x",
+            "makespan_s",
+            "scheduling_ms_per_task",
+            "remote_transfers",
+            "replications",
+            "evictions",
+        ),
+    ) -> str:
+        header = list(columns)
+        rows = self.rows(columns)
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+            for i in range(len(header))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [
+            self.title,
+            " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+            sep,
+        ]
+        for r in rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self, columns: Sequence[str]) -> str:
+        lines = [",".join(columns)]
+        for row in self.rows(columns):
+            lines.append(",".join(row))
+        return "\n".join(lines)

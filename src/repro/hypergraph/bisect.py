@@ -1,0 +1,46 @@
+"""Multilevel bisection: coarsen -> initial partition -> refine while uncoarsening."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coarsen import coarsen, project_partition
+from .hypergraph import Hypergraph
+from .initial import initial_bipartition
+from .refine import fm_refine
+
+__all__ = ["multilevel_bisect"]
+
+
+def multilevel_bisect(
+    h: Hypergraph,
+    rng: np.random.Generator,
+    target0_fraction: float = 0.5,
+    epsilon: float = 0.05,
+    coarsen_to: int = 64,
+    initial_tries: int = 4,
+) -> np.ndarray:
+    """Bisect ``h`` into parts {0, 1} with weight targets and tolerance.
+
+    ``target0_fraction`` is part 0's share of the total vertex weight (used
+    for uneven splits in recursive bisection of non-power-of-two K); each
+    side may exceed its target by at most ``epsilon`` relatively.
+    """
+    n = h.num_vertices
+    if n == 0:
+        return np.zeros(0, dtype=int)
+    if n == 1:
+        return np.zeros(1, dtype=int)
+
+    total = h.total_vertex_weight
+    # Allow at least the heaviest single vertex so a feasible split exists.
+    heaviest = float(h.vertex_weights.max())
+    max0 = max(total * target0_fraction * (1 + epsilon), heaviest)
+    max1 = max(total * (1 - target0_fraction) * (1 + epsilon), heaviest)
+
+    coarsest, levels = coarsen(h, rng, target_vertices=coarsen_to)
+    parts = initial_bipartition(coarsest, rng, target0_fraction, tries=initial_tries)
+    parts = fm_refine(coarsest, parts, (max0, max1), rng=rng)
+    for fine, projected in project_partition(levels, parts):
+        parts = fm_refine(fine, projected, (max0, max1), rng=rng)
+    return parts

@@ -1,0 +1,123 @@
+"""Multilevel coarsening via heavy-connectivity matching.
+
+Following PaToH's HCM scheme: visit vertices in random order; an unmatched
+vertex is paired with the unmatched neighbour to which it is most strongly
+connected, where the connectivity contributed by a shared net ``n_j`` is
+``c_j / (|n_j| - 1)`` (so small, heavy nets attract most). Matched pairs are
+contracted; the process repeats until the hypergraph is small enough for
+initial partitioning or stops shrinking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .hypergraph import Hypergraph
+
+__all__ = ["CoarseningLevel", "heavy_connectivity_matching", "coarsen"]
+
+# Nets larger than this contribute negligible per-pin connectivity and cost
+# O(size^2) pair updates; skip them during matching (PaToH does the same).
+_MATCHING_NET_SIZE_LIMIT = 64
+
+
+@dataclass
+class CoarseningLevel:
+    """One level of the multilevel hierarchy: the fine graph and its mapping."""
+
+    fine: Hypergraph
+    cluster_of: np.ndarray  # fine vertex -> coarse vertex
+
+
+def heavy_connectivity_matching(
+    h: Hypergraph,
+    rng: np.random.Generator,
+    max_cluster_weight: float | None = None,
+) -> np.ndarray:
+    """Compute a matching-based clustering; returns ``cluster_of`` array.
+
+    ``max_cluster_weight`` prevents merging two vertices whose combined
+    weight exceeds the bound (keeps coarse graphs balanceable).
+    """
+    n = h.num_vertices
+    cluster_of = np.full(n, -1, dtype=int)
+    matched = np.zeros(n, dtype=bool)
+    next_cluster = 0
+
+    order = rng.permutation(n)
+    scores: dict[int, float] = {}
+    for v in order:
+        if matched[v]:
+            continue
+        scores.clear()
+        for j in h.nets_of(v):
+            size = h.net_size(j)
+            if size < 2 or size > _MATCHING_NET_SIZE_LIMIT:
+                continue
+            contrib = float(h.net_weights[j]) / (size - 1)
+            for u in h.pins(j):
+                if u != v and not matched[u]:
+                    scores[u] = scores.get(u, 0.0) + contrib
+
+        best_u = -1
+        best_score = 0.0
+        wv = h.vertex_weights[v]
+        for u, s in scores.items():
+            if max_cluster_weight is not None and wv + h.vertex_weights[u] > max_cluster_weight:
+                continue
+            if s > best_score or (s == best_score and best_u == -1):
+                best_u, best_score = u, s
+
+        matched[v] = True
+        cluster_of[v] = next_cluster
+        if best_u >= 0:
+            matched[best_u] = True
+            cluster_of[best_u] = next_cluster
+        next_cluster += 1
+
+    return cluster_of
+
+
+def coarsen(
+    h: Hypergraph,
+    rng: np.random.Generator,
+    target_vertices: int = 64,
+    max_levels: int = 30,
+    shrink_threshold: float = 0.95,
+) -> tuple[Hypergraph, list[CoarseningLevel]]:
+    """Coarsen until ``target_vertices`` is reached or shrinking stalls.
+
+    Returns the coarsest hypergraph and the ordered list of levels (finest
+    first) needed to project a coarse partition back to the original graph.
+    The max-cluster-weight bound is set so no coarse vertex outgrows what a
+    balanced bipartition could host.
+    """
+    levels: list[CoarseningLevel] = []
+    current = h
+    # A cluster heavier than half the total weight can never be balanced.
+    weight_cap = max(current.total_vertex_weight / 2.0, 1e-12)
+    for _ in range(max_levels):
+        if current.num_vertices <= target_vertices:
+            break
+        cluster_of = heavy_connectivity_matching(current, rng, weight_cap)
+        nc = int(cluster_of.max()) + 1 if len(cluster_of) else 0
+        if nc >= current.num_vertices * shrink_threshold:
+            break  # stalled: nearly nothing matched
+        coarse = current.contract(cluster_of)
+        levels.append(CoarseningLevel(fine=current, cluster_of=cluster_of))
+        current = coarse
+    return current, levels
+
+
+def project_partition(levels: list[CoarseningLevel], coarse_parts: np.ndarray):
+    """Project a partition of the coarsest graph through all levels.
+
+    Yields ``(hypergraph, parts)`` pairs from coarsest-but-one to finest so
+    the caller can refine at each level (the classic V-cycle uncoarsening).
+    """
+    parts = coarse_parts
+    for level in reversed(levels):
+        parts = parts[level.cluster_of]
+        yield level.fine, parts

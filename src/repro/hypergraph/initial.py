@@ -1,0 +1,101 @@
+"""Initial bipartitioning of the coarsest hypergraph.
+
+Two strategies, both run multiple times with the best kept:
+
+* *Greedy hypergraph growing* (GHG, PaToH's default): grow part 0 from a
+  random seed by repeatedly absorbing the unassigned vertex with the highest
+  move gain until part 0 reaches its target weight.
+* *Random balanced*: shuffle vertices, fill part 0 to target. Used as a
+  diversity fallback when GHG stalls on disconnected graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hypergraph import Hypergraph
+from .metrics import cut_weight
+
+__all__ = ["greedy_growing_bipartition", "random_bipartition", "initial_bipartition"]
+
+
+def random_bipartition(
+    h: Hypergraph, rng: np.random.Generator, target0: float
+) -> np.ndarray:
+    """Shuffle vertices and fill part 0 up to ``target0`` total weight."""
+    parts = np.ones(h.num_vertices, dtype=int)
+    acc = 0.0
+    for v in rng.permutation(h.num_vertices):
+        if acc < target0:
+            parts[v] = 0
+            acc += h.vertex_weights[v]
+    return parts
+
+
+def greedy_growing_bipartition(
+    h: Hypergraph, rng: np.random.Generator, target0: float
+) -> np.ndarray:
+    """Grow part 0 from a random seed by best-gain absorption.
+
+    The gain of absorbing vertex ``v`` is the weight of its nets that would
+    stop being cut minus the weight of nets that would become newly cut —
+    approximated incrementally with per-net counts of already-absorbed pins.
+    """
+    n = h.num_vertices
+    parts = np.ones(n, dtype=int)
+    if n == 0:
+        return parts
+    in0 = np.zeros(n, dtype=bool)
+    pins_in0 = np.zeros(h.num_nets, dtype=int)
+
+    def absorb_gain(v: int) -> float:
+        g = 0.0
+        for j in h.nets_of(v):
+            size = h.net_size(j)
+            cnt = pins_in0[j]
+            if cnt == size - 1:
+                g += float(h.net_weights[j])  # net becomes internal to part 0
+            elif cnt == 0 and size > 1:
+                g -= float(h.net_weights[j])  # net becomes cut
+        return g
+
+    seed = int(rng.integers(n))
+    frontier: set[int] = {seed}
+    acc = 0.0
+    while acc < target0:
+        if not frontier:
+            remaining = [v for v in range(n) if not in0[v]]
+            if not remaining:
+                break
+            frontier.add(int(rng.choice(remaining)))
+        best_v = max(frontier, key=lambda v: (absorb_gain(v), -h.vertex_weights[v]))
+        frontier.discard(best_v)
+        in0[best_v] = True
+        parts[best_v] = 0
+        acc += h.vertex_weights[best_v]
+        for j in h.nets_of(best_v):
+            pins_in0[j] += 1
+            for u in h.pins(j):
+                if not in0[u]:
+                    frontier.add(u)
+    return parts
+
+
+def initial_bipartition(
+    h: Hypergraph,
+    rng: np.random.Generator,
+    target0_fraction: float = 0.5,
+    tries: int = 4,
+) -> np.ndarray:
+    """Run several initial strategies; return the lowest-cut bipartition."""
+    target0 = h.total_vertex_weight * target0_fraction
+    best: np.ndarray | None = None
+    best_cut = np.inf
+    for t in range(max(1, tries)):
+        maker = greedy_growing_bipartition if t % 2 == 0 else random_bipartition
+        parts = maker(h, rng, target0)
+        c = cut_weight(h, parts)
+        if c < best_cut:
+            best, best_cut = parts, c
+    assert best is not None
+    return best

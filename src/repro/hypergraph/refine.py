@@ -1,0 +1,148 @@
+"""Fiduccia–Mattheyses (FM) bipartition refinement.
+
+Classic FM with lazy max-heaps: repeatedly move the highest-gain unlocked
+vertex whose move keeps the destination part within its weight bound, lock
+it, update neighbour gains, and finally roll back to the best prefix of the
+move sequence. Passes repeat until a pass yields no improvement.
+
+The gain of moving ``v`` from part ``a`` to part ``b`` under the cut-net
+metric is::
+
+    gain(v) = sum(c_j for nets j of v with all other pins in b)   # uncut
+            - sum(c_j for nets j of v with all pins in a)         # newly cut
+
+tracked incrementally with per-net pin counts per side.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .hypergraph import Hypergraph
+from .metrics import cut_weight
+
+__all__ = ["fm_refine", "compute_gains"]
+
+
+def compute_gains(h: Hypergraph, parts: np.ndarray) -> np.ndarray:
+    """Move gains for every vertex under the cut-net metric."""
+    counts = _side_counts(h, parts)
+    gains = np.zeros(h.num_vertices)
+    for v in range(h.num_vertices):
+        gains[v] = _gain_of(h, counts, parts, v)
+    return gains
+
+
+def _side_counts(h: Hypergraph, parts: np.ndarray) -> np.ndarray:
+    """``counts[j, s]`` = number of pins of net ``j`` in side ``s``."""
+    counts = np.zeros((h.num_nets, 2), dtype=int)
+    for j in range(h.num_nets):
+        for v in h.pins(j):
+            counts[j, parts[v]] += 1
+    return counts
+
+
+def _gain_of(h: Hypergraph, counts: np.ndarray, parts: np.ndarray, v: int) -> float:
+    a = parts[v]
+    b = 1 - a
+    g = 0.0
+    for j in h.nets_of(v):
+        if counts[j, b] == 0:
+            g -= float(h.net_weights[j])
+        if counts[j, a] == 1:
+            g += float(h.net_weights[j])
+    return g
+
+
+def fm_refine(
+    h: Hypergraph,
+    parts: np.ndarray,
+    max_part_weights: tuple[float, float],
+    max_passes: int = 8,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Refine a bipartition in place-semantics (returns a new array).
+
+    ``max_part_weights`` bounds each side's total vertex weight; a move is
+    admissible only if the destination stays within its bound. If the input
+    violates a bound, rebalancing moves (negative gain allowed) are used
+    until feasible, mirroring PaToH's feasibility-restoring passes.
+    """
+    parts = np.asarray(parts, dtype=int).copy()
+    if h.num_vertices == 0:
+        return parts
+
+    def _feasible_weights(w) -> bool:
+        return w[0] <= max_part_weights[0] and w[1] <= max_part_weights[1]
+
+    init_w = np.zeros(2)
+    np.add.at(init_w, parts, h.vertex_weights)
+    best_parts = parts.copy()
+    best_cut = cut_weight(h, parts) if _feasible_weights(init_w) else np.inf
+
+    for _ in range(max_passes):
+        counts = _side_counts(h, parts)
+        side_w = np.zeros(2)
+        np.add.at(side_w, parts, h.vertex_weights)
+        gains = {v: _gain_of(h, counts, parts, v) for v in range(h.num_vertices)}
+        heap: list[tuple[float, int]] = [(-g, v) for v, g in gains.items()]
+        heapq.heapify(heap)
+        locked = np.zeros(h.num_vertices, dtype=bool)
+
+        moves: list[int] = []
+        cur_cut = cut_weight(h, parts)
+        feasible = _feasible_weights(side_w)
+        pass_best_cut = cur_cut if feasible else np.inf
+        pass_best_prefix = 0
+
+        while heap:
+            neg_g, v = heapq.heappop(heap)
+            if locked[v] or gains[v] != -neg_g:
+                continue  # stale heap entry
+            a = parts[v]
+            b = 1 - a
+            if side_w[b] + h.vertex_weights[v] > max_part_weights[b]:
+                # Inadmissible; if currently infeasible on side a, allow the
+                # move anyway when it improves balance.
+                if not (not feasible and side_w[a] > max_part_weights[a]):
+                    continue
+
+            # Commit the move.
+            locked[v] = True
+            parts[v] = b
+            side_w[a] -= h.vertex_weights[v]
+            side_w[b] += h.vertex_weights[v]
+            cur_cut -= gains[v]
+            moves.append(v)
+            feasible = _feasible_weights(side_w)
+            # Update net counts and neighbour gains.
+            dirty: set[int] = set()
+            for j in h.nets_of(v):
+                counts[j, a] -= 1
+                counts[j, b] += 1
+                for u in h.pins(j):
+                    if not locked[u]:
+                        dirty.add(u)
+            for u in dirty:
+                g = _gain_of(h, counts, parts, u)
+                if g != gains[u]:
+                    gains[u] = g
+                    heapq.heappush(heap, (-g, u))
+
+            if feasible and cur_cut < pass_best_cut - 1e-12:
+                pass_best_cut = cur_cut
+                pass_best_prefix = len(moves)
+
+        # Roll back to the best feasible prefix of this pass.
+        for v in moves[pass_best_prefix:]:
+            parts[v] = 1 - parts[v]
+
+        if pass_best_cut < best_cut - 1e-12:
+            best_cut = pass_best_cut
+            best_parts = parts.copy()
+        else:
+            break  # no improvement this pass
+
+    return best_parts

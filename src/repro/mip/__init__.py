@@ -1,0 +1,78 @@
+"""0-1 / mixed integer linear programming substrate.
+
+The paper's IP scheduler (Section 4) needs a MILP engine; the original work
+used ``lp_solve``. This package provides:
+
+* :mod:`repro.mip.model` — a tiny PuLP-style modeling DSL,
+* :mod:`repro.mip.highs` — an exact backend on ``scipy.optimize.milp`` (HiGHS),
+* :mod:`repro.mip.branch_bound` — a from-scratch LP-relaxation branch and
+  bound solver, used both as a fallback and as an independent cross-check.
+
+>>> from repro.mip import Model, Sense, solve
+>>> m = Model("knapsack", Sense.MAXIMIZE)
+>>> x = [m.binary_var(f"x{i}") for i in range(3)]
+>>> _ = m.add_constr(2 * x[0] + 3 * x[1] + 4 * x[2] <= 5)
+>>> m.set_objective(3 * x[0] + 4 * x[1] + 5 * x[2])
+>>> sol = solve(m)
+>>> round(sol.objective)
+7
+"""
+
+from .branch_bound import BranchBoundSolver, solve_with_branch_bound
+from .errors import (
+    InfeasibleError,
+    MipError,
+    ModelError,
+    SolverError,
+    UnboundedError,
+)
+from .highs import HighsSolver, solve_with_highs
+from .model import Constraint, LinExpr, Model, Sense, StandardForm, Var, VarType
+from .presolve import PresolveResult, presolve
+from .solution import Solution, Status
+
+__all__ = [
+    "Model",
+    "Sense",
+    "Var",
+    "VarType",
+    "LinExpr",
+    "Constraint",
+    "StandardForm",
+    "Solution",
+    "Status",
+    "HighsSolver",
+    "BranchBoundSolver",
+    "solve",
+    "solve_with_highs",
+    "solve_with_branch_bound",
+    "get_solver",
+    "presolve",
+    "PresolveResult",
+    "MipError",
+    "ModelError",
+    "SolverError",
+    "InfeasibleError",
+    "UnboundedError",
+]
+
+_SOLVERS = {
+    "highs": HighsSolver,
+    "branch-bound": BranchBoundSolver,
+}
+
+
+def get_solver(name: str = "highs", **kwargs):
+    """Instantiate a solver backend by name (``highs`` or ``branch-bound``)."""
+    try:
+        cls = _SOLVERS[name]
+    except KeyError:
+        raise SolverError(
+            f"unknown solver {name!r}; available: {sorted(_SOLVERS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def solve(model: Model, solver: str = "highs", **kwargs) -> Solution:
+    """Solve ``model`` with the named backend and return its :class:`Solution`."""
+    return get_solver(solver, **kwargs).solve(model)

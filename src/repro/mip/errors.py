@@ -1,0 +1,24 @@
+"""Exception types for the :mod:`repro.mip` modeling layer and solvers."""
+
+from __future__ import annotations
+
+
+class MipError(Exception):
+    """Base class for all MILP modeling and solving errors."""
+
+
+class ModelError(MipError):
+    """Raised for malformed models (duplicate names, bad bounds, ...)."""
+
+
+class SolverError(MipError):
+    """Raised when a backend fails in a way that is not a status code."""
+
+
+class InfeasibleError(SolverError):
+    """Raised by :meth:`repro.mip.solution.Solution.require_optimal` when the
+    model was proven infeasible."""
+
+
+class UnboundedError(SolverError):
+    """Raised when the model was proven unbounded."""

@@ -1,0 +1,404 @@
+"""A small mixed-integer linear programming modeling layer.
+
+The paper's schedulers (Section 4) are expressed as 0-1 integer programs.
+The original work used ``lp_solve``; since no MILP modeling package is
+available offline, this module provides a minimal, dependency-free modeling
+DSL in the spirit of PuLP:
+
+>>> m = Model("demo", sense=Sense.MINIMIZE)
+>>> x = m.binary_var("x")
+>>> y = m.binary_var("y")
+>>> _ = m.add_constr(x + y >= 1, name="cover")
+>>> m.set_objective(2 * x + 3 * y)
+
+Models are solved through a backend (:mod:`repro.mip.highs` or
+:mod:`repro.mip.branch_bound`); :meth:`Model.to_standard_form` lowers the
+model to the matrix form ``min c'x  s.t.  lb_c <= A x <= ub_c`` that both
+backends consume.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .errors import ModelError
+
+__all__ = [
+    "Sense",
+    "VarType",
+    "Var",
+    "LinExpr",
+    "Constraint",
+    "StandardForm",
+    "Model",
+]
+
+
+class Sense(enum.Enum):
+    """Optimization direction of a model objective."""
+
+    MINIMIZE = "min"
+    MAXIMIZE = "max"
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+class Var:
+    """A single decision variable.
+
+    Variables are created through :class:`Model` factory methods so that each
+    one receives a unique column index. Arithmetic on variables produces
+    :class:`LinExpr` objects; comparisons produce :class:`Constraint` objects.
+    """
+
+    __slots__ = ("name", "index", "vtype", "lb", "ub")
+
+    def __init__(self, name: str, index: int, vtype: VarType, lb: float, ub: float):
+        if lb > ub:
+            raise ModelError(f"variable {name!r}: lower bound {lb} > upper bound {ub}")
+        self.name = name
+        self.index = index
+        self.vtype = vtype
+        self.lb = float(lb)
+        self.ub = float(ub)
+
+    # -- expression building -------------------------------------------------
+    def _expr(self) -> "LinExpr":
+        return LinExpr({self.index: 1.0}, 0.0)
+
+    def __add__(self, other):
+        return self._expr() + other
+
+    def __radd__(self, other):
+        return self._expr() + other
+
+    def __sub__(self, other):
+        return self._expr() - other
+
+    def __rsub__(self, other):
+        return (-1.0) * self._expr() + other
+
+    def __mul__(self, coef):
+        return self._expr() * coef
+
+    def __rmul__(self, coef):
+        return self._expr() * coef
+
+    def __neg__(self):
+        return self._expr() * -1.0
+
+    # -- constraint building -------------------------------------------------
+    def __le__(self, other):
+        return self._expr() <= other
+
+    def __ge__(self, other):
+        return self._expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._expr() == other
+
+    def __hash__(self):
+        return hash((id(type(self)), self.index))
+
+    def __repr__(self):
+        return f"Var({self.name!r})"
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff_i * var_i) + constant``.
+
+    Internally a mapping from variable column index to coefficient. All
+    arithmetic returns new expressions; in-place mutation is only used by
+    the fast accumulation helper :meth:`add_term`.
+    """
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Mapping[int, float] | None = None, constant: float = 0.0):
+        self.coeffs: dict[int, float] = dict(coeffs) if coeffs else {}
+        self.constant = float(constant)
+
+    # -- construction helpers -----------------------------------------------
+    @staticmethod
+    def from_terms(terms: Iterable[tuple[Var, float]], constant: float = 0.0) -> "LinExpr":
+        """Build an expression from ``(var, coefficient)`` pairs.
+
+        Much faster than repeated ``+`` for long sums — used by the IP
+        scheduler when assembling constraints over thousands of variables.
+        """
+        coeffs: dict[int, float] = {}
+        for var, coef in terms:
+            idx = var.index
+            coeffs[idx] = coeffs.get(idx, 0.0) + float(coef)
+        return LinExpr(coeffs, constant)
+
+    def add_term(self, var: Var, coef: float) -> "LinExpr":
+        """In-place accumulate ``coef * var``; returns self for chaining."""
+        self.coeffs[var.index] = self.coeffs.get(var.index, 0.0) + float(coef)
+        return self
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.coeffs, self.constant)
+
+    # -- arithmetic -----------------------------------------------------------
+    @staticmethod
+    def _coerce(other) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Var):
+            return other._expr()
+        if isinstance(other, (int, float, np.integer, np.floating)):
+            return LinExpr({}, float(other))
+        raise TypeError(f"cannot combine LinExpr with {type(other).__name__}")
+
+    def __add__(self, other):
+        o = self._coerce(other)
+        out = self.copy()
+        for idx, coef in o.coeffs.items():
+            out.coeffs[idx] = out.coeffs.get(idx, 0.0) + coef
+        out.constant += o.constant
+        return out
+
+    def __radd__(self, other):
+        return self.__add__(other)
+
+    def __sub__(self, other):
+        return self.__add__(self._coerce(other) * -1.0)
+
+    def __rsub__(self, other):
+        return (self * -1.0).__add__(other)
+
+    def __mul__(self, coef):
+        if not isinstance(coef, (int, float, np.integer, np.floating)):
+            raise TypeError("LinExpr can only be multiplied by a scalar")
+        c = float(coef)
+        return LinExpr({i: v * c for i, v in self.coeffs.items()}, self.constant * c)
+
+    def __rmul__(self, coef):
+        return self.__mul__(coef)
+
+    def __neg__(self):
+        return self.__mul__(-1.0)
+
+    # -- comparisons -> constraints -------------------------------------------
+    def __le__(self, other):
+        diff = self - self._coerce(other)
+        return Constraint(diff, -math.inf, 0.0)
+
+    def __ge__(self, other):
+        diff = self - self._coerce(other)
+        return Constraint(diff, 0.0, math.inf)
+
+    def __eq__(self, other):  # type: ignore[override]
+        diff = self - self._coerce(other)
+        return Constraint(diff, 0.0, 0.0)
+
+    def __hash__(self):
+        return id(self)
+
+    def value(self, assignment: Sequence[float]) -> float:
+        """Evaluate the expression under a column-indexed assignment."""
+        return self.constant + sum(assignment[i] * c for i, c in self.coeffs.items())
+
+    def __repr__(self):
+        terms = " + ".join(f"{c:g}*x{i}" for i, c in sorted(self.coeffs.items()))
+        return f"LinExpr({terms or '0'} + {self.constant:g})"
+
+
+@dataclass
+class Constraint:
+    """A two-sided linear constraint ``lb <= expr <= ub``.
+
+    The expression's constant term is folded into the bounds at build time so
+    that ``expr.constant`` is always zero for stored constraints.
+    """
+
+    expr: LinExpr
+    lb: float
+    ub: float
+    name: str = ""
+
+    def __post_init__(self):
+        if self.expr.constant != 0.0:
+            self.lb -= self.expr.constant
+            self.ub -= self.expr.constant
+            self.expr = LinExpr(self.expr.coeffs, 0.0)
+        if self.lb > self.ub + 1e-12:
+            raise ModelError(
+                f"constraint {self.name or '<anon>'}: lower bound {self.lb} > upper bound {self.ub}"
+            )
+
+    def violation(self, assignment: Sequence[float]) -> float:
+        """Amount by which the constraint is violated (0 when satisfied)."""
+        v = self.expr.value(assignment)
+        if v < self.lb:
+            return self.lb - v
+        if v > self.ub:
+            return v - self.ub
+        return 0.0
+
+
+@dataclass
+class StandardForm:
+    """Matrix lowering of a model: ``min c @ x`` with row and column bounds.
+
+    ``sense_mult`` is +1 for minimization models and -1 for maximization
+    (the objective vector ``c`` is already multiplied through, so backends
+    always minimize; reported objective values must be multiplied back).
+    """
+
+    c: np.ndarray
+    a_rows: list[dict[int, float]]
+    row_lb: np.ndarray
+    row_ub: np.ndarray
+    col_lb: np.ndarray
+    col_ub: np.ndarray
+    integrality: np.ndarray  # 1 where integer/binary, 0 where continuous
+    sense_mult: float
+    objective_constant: float = 0.0
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.c)
+
+    @property
+    def num_constrs(self) -> int:
+        return len(self.a_rows)
+
+    def dense_matrix(self) -> np.ndarray:
+        """Materialise A as a dense array (small models / tests only)."""
+        a = np.zeros((self.num_constrs, self.num_vars))
+        for r, row in enumerate(self.a_rows):
+            for cidx, coef in row.items():
+                a[r, cidx] = coef
+        return a
+
+
+class Model:
+    """A named MILP model: variables, linear constraints, linear objective."""
+
+    def __init__(self, name: str = "model", sense: Sense = Sense.MINIMIZE):
+        self.name = name
+        self.sense = sense
+        self.variables: list[Var] = []
+        self.constraints: list[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+        self._names: set[str] = set()
+
+    # -- variable factories ----------------------------------------------------
+    def _register(self, name: str, vtype: VarType, lb: float, ub: float) -> Var:
+        if not name:
+            name = f"x{len(self.variables)}"
+        if name in self._names:
+            raise ModelError(f"duplicate variable name {name!r}")
+        self._names.add(name)
+        var = Var(name, len(self.variables), vtype, lb, ub)
+        self.variables.append(var)
+        return var
+
+    def binary_var(self, name: str = "") -> Var:
+        """Create a 0/1 variable."""
+        return self._register(name, VarType.BINARY, 0.0, 1.0)
+
+    def integer_var(self, name: str = "", lb: float = 0.0, ub: float = math.inf) -> Var:
+        """Create a general integer variable with the given bounds."""
+        return self._register(name, VarType.INTEGER, lb, ub)
+
+    def continuous_var(
+        self, name: str = "", lb: float = 0.0, ub: float = math.inf
+    ) -> Var:
+        """Create a continuous variable with the given bounds."""
+        return self._register(name, VarType.CONTINUOUS, lb, ub)
+
+    def binary_var_dict(self, keys: Iterable, prefix: str) -> dict:
+        """Create one binary variable per key, named ``prefix[key]``."""
+        return {k: self.binary_var(f"{prefix}[{k}]") for k in keys}
+
+    # -- constraints / objective -------------------------------------------------
+    def add_constr(self, constr: Constraint, name: str = "") -> Constraint:
+        """Attach a constraint built via expression comparison operators."""
+        if not isinstance(constr, Constraint):
+            raise ModelError(
+                "add_constr expects a Constraint (use <=, >= or == on expressions); "
+                f"got {type(constr).__name__}"
+            )
+        if name:
+            constr.name = name
+        elif not constr.name:
+            constr.name = f"c{len(self.constraints)}"
+        self.constraints.append(constr)
+        return constr
+
+    def set_objective(self, expr: LinExpr | Var | float, sense: Sense | None = None):
+        """Set the objective expression (and optionally flip the sense)."""
+        self.objective = LinExpr._coerce(expr)
+        if sense is not None:
+            self.sense = sense
+
+    # -- lowering ------------------------------------------------------------------
+    def to_standard_form(self) -> StandardForm:
+        """Lower to minimization matrix form consumed by the backends."""
+        n = len(self.variables)
+        mult = 1.0 if self.sense is Sense.MINIMIZE else -1.0
+        c = np.zeros(n)
+        for idx, coef in self.objective.coeffs.items():
+            c[idx] = mult * coef
+        a_rows: list[dict[int, float]] = []
+        row_lb = np.empty(len(self.constraints))
+        row_ub = np.empty(len(self.constraints))
+        for r, constr in enumerate(self.constraints):
+            a_rows.append(dict(constr.expr.coeffs))
+            row_lb[r] = constr.lb
+            row_ub[r] = constr.ub
+        col_lb = np.array([v.lb for v in self.variables])
+        col_ub = np.array([v.ub for v in self.variables])
+        integrality = np.array(
+            [0 if v.vtype is VarType.CONTINUOUS else 1 for v in self.variables]
+        )
+        return StandardForm(
+            c=c,
+            a_rows=a_rows,
+            row_lb=row_lb,
+            row_ub=row_ub,
+            col_lb=col_lb,
+            col_ub=col_ub,
+            integrality=integrality,
+            sense_mult=mult,
+            objective_constant=self.objective.constant,
+        )
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constrs(self) -> int:
+        return len(self.constraints)
+
+    def is_feasible(self, assignment: Sequence[float], tol: float = 1e-6) -> bool:
+        """Check an assignment against all constraints, bounds and domains."""
+        for var in self.variables:
+            v = assignment[var.index]
+            if v < var.lb - tol or v > var.ub + tol:
+                return False
+            if var.vtype is not VarType.CONTINUOUS and abs(v - round(v)) > tol:
+                return False
+        return all(c.violation(assignment) <= tol for c in self.constraints)
+
+    def __repr__(self):
+        return (
+            f"Model({self.name!r}, {self.sense.value}, "
+            f"{self.num_vars} vars, {self.num_constrs} constrs)"
+        )

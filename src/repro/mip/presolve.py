@@ -1,0 +1,179 @@
+"""Presolve: cheap model reductions applied before branch and bound.
+
+Classic bound-strengthening techniques for mixed 0-1 models, applied to a
+:class:`~repro.mip.model.Model` without changing its optimal value:
+
+* **Activity-based feasibility** — a constraint whose minimum possible
+  activity exceeds its upper bound (or maximum activity is below its lower
+  bound) proves infeasibility immediately.
+* **Redundant-row removal** — a constraint satisfied by *every* assignment
+  within the variable bounds carries no information and is dropped.
+* **Bound propagation / variable fixing** — for a variable ``x`` with
+  coefficient ``a`` in row ``lb <= ax + rest <= ub``, the residual activity
+  bounds of ``rest`` imply tighter bounds on ``x``; integer bounds are
+  rounded, and variables whose bounds meet are fixed.
+
+Iterates to a fixpoint. The scheduling IPs benefit substantially: e.g.
+Eq. 5 (`R + sum Y <= 1 - pre`) with ``pre = 1`` instantly fixes the row's
+variables to zero, which cascades through Eqs. 1 and 4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .model import Constraint, LinExpr, Model, VarType
+
+__all__ = ["PresolveResult", "presolve"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class PresolveResult:
+    """Outcome of presolving a model.
+
+    ``model`` is the reduced model (same variable set, tightened bounds,
+    fewer rows); ``fixed`` maps variable names to their forced values;
+    ``infeasible`` is True when presolve proved there is no solution.
+    """
+
+    model: Model
+    fixed: dict[str, float] = field(default_factory=dict)
+    removed_rows: int = 0
+    tightened_bounds: int = 0
+    rounds: int = 0
+    infeasible: bool = False
+
+
+def _row_activity_bounds(
+    expr: LinExpr, lo: list[float], hi: list[float]
+) -> tuple[float, float]:
+    """Min and max possible value of ``expr`` under variable bounds."""
+    amin = amax = 0.0
+    for idx, coef in expr.coeffs.items():
+        if coef >= 0:
+            amin += coef * lo[idx]
+            amax += coef * hi[idx]
+        else:
+            amin += coef * hi[idx]
+            amax += coef * lo[idx]
+    return amin, amax
+
+
+def presolve(model: Model, max_rounds: int = 20) -> PresolveResult:
+    """Reduce ``model``; returns a new model plus a reduction report.
+
+    The input model is not mutated. Variable indices are preserved, so
+    solutions of the reduced model are solutions of the original.
+    """
+    lo = [v.lb for v in model.variables]
+    hi = [v.ub for v in model.variables]
+    is_int = [v.vtype is not VarType.CONTINUOUS for v in model.variables]
+    rows: list[Constraint] = list(model.constraints)
+    result_fixed: dict[str, float] = {}
+    removed = 0
+    tightened = 0
+    rounds = 0
+
+    for _ in range(max_rounds):
+        rounds += 1
+        changed = False
+        keep: list[Constraint] = []
+        for constr in rows:
+            amin, amax = _row_activity_bounds(constr.expr, lo, hi)
+            # Infeasible row?
+            if amin > constr.ub + 1e-6 or amax < constr.lb - 1e-6:
+                return PresolveResult(
+                    model=model,
+                    fixed=result_fixed,
+                    removed_rows=removed,
+                    tightened_bounds=tightened,
+                    rounds=rounds,
+                    infeasible=True,
+                )
+            # Redundant row?
+            if amin >= constr.lb - _EPS and amax <= constr.ub + _EPS:
+                removed += 1
+                changed = True
+                continue
+            keep.append(constr)
+
+            # Bound propagation on each variable of the row.
+            for idx, coef in constr.expr.coeffs.items():
+                if abs(coef) < _EPS:
+                    continue
+                # Residual activity without this variable's contribution.
+                # Subtracting an infinite contribution from an infinite
+                # activity is undefined (inf - inf); recompute the residual
+                # exactly in that case.
+                contrib_min = coef * lo[idx] if coef >= 0 else coef * hi[idx]
+                contrib_max = coef * hi[idx] if coef >= 0 else coef * lo[idx]
+                if math.isinf(contrib_min) or math.isinf(contrib_max):
+                    # Subtracting an infinite contribution is undefined.
+                    # Recompute the residual exactly for short rows; for
+                    # long rows (the O(n^2) blow-up is not worth it) skip
+                    # propagation of this variable — always sound.
+                    if len(constr.expr.coeffs) > 50:
+                        continue
+                    rest = LinExpr(
+                        {i: c for i, c in constr.expr.coeffs.items() if i != idx}
+                    )
+                    rest_min, rest_max = _row_activity_bounds(rest, lo, hi)
+                else:
+                    rest_min = amin - contrib_min
+                    rest_max = amax - contrib_max
+                # lb <= coef*x + rest <= ub
+                if constr.ub != math.inf and rest_min != -math.inf:
+                    limit = (constr.ub - rest_min) / coef
+                    if coef > 0 and limit < hi[idx] - 1e-9:
+                        hi[idx] = math.floor(limit + 1e-9) if is_int[idx] else limit
+                        tightened += 1
+                        changed = True
+                    elif coef < 0 and limit > lo[idx] + 1e-9:
+                        lo[idx] = math.ceil(limit - 1e-9) if is_int[idx] else limit
+                        tightened += 1
+                        changed = True
+                if constr.lb != -math.inf and rest_max != math.inf:
+                    limit = (constr.lb - rest_max) / coef
+                    if coef > 0 and limit > lo[idx] + 1e-9:
+                        lo[idx] = math.ceil(limit - 1e-9) if is_int[idx] else limit
+                        tightened += 1
+                        changed = True
+                    elif coef < 0 and limit < hi[idx] - 1e-9:
+                        hi[idx] = math.floor(limit + 1e-9) if is_int[idx] else limit
+                        tightened += 1
+                        changed = True
+                if lo[idx] > hi[idx] + 1e-9:
+                    return PresolveResult(
+                        model=model,
+                        fixed=result_fixed,
+                        removed_rows=removed,
+                        tightened_bounds=tightened,
+                        rounds=rounds,
+                        infeasible=True,
+                    )
+        rows = keep
+        if not changed:
+            break
+
+    # Build the reduced model: same variables with tightened bounds.
+    reduced = Model(f"{model.name}:presolved", model.sense)
+    for v in model.variables:
+        new = reduced._register(v.name, v.vtype, lo[v.index], hi[v.index])
+        assert new.index == v.index
+        if lo[v.index] == hi[v.index]:
+            result_fixed[v.name] = lo[v.index]
+    for constr in rows:
+        reduced.constraints.append(
+            Constraint(LinExpr(constr.expr.coeffs), constr.lb, constr.ub, constr.name)
+        )
+    reduced.objective = LinExpr(model.objective.coeffs, model.objective.constant)
+    return PresolveResult(
+        model=reduced,
+        fixed=result_fixed,
+        removed_rows=removed,
+        tightened_bounds=tightened,
+        rounds=rounds,
+    )

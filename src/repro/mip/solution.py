@@ -1,0 +1,68 @@
+"""Solver-independent solution objects returned by MILP backends."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .errors import InfeasibleError, SolverError, UnboundedError
+from .model import Model, Var
+
+__all__ = ["Status", "Solution"]
+
+
+class Status(enum.Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"  # stopped early (node/time limit) with an incumbent
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+    @property
+    def has_solution(self) -> bool:
+        return self in (Status.OPTIMAL, Status.FEASIBLE)
+
+
+@dataclass
+class Solution:
+    """Result of solving a :class:`repro.mip.model.Model`.
+
+    ``values`` is indexed by variable column index; use :meth:`value` /
+    :meth:`__getitem__` to read a variable. ``objective`` is reported in the
+    model's original sense (maximization objectives are not negated).
+    """
+
+    status: Status
+    objective: float | None = None
+    values: list[float] = field(default_factory=list)
+    # Diagnostics
+    solve_time: float = 0.0
+    nodes_explored: int = 0
+    gap: float | None = None
+    message: str = ""
+
+    def value(self, var: Var, *, integral: bool = True) -> float:
+        """Value of ``var``; binary/integer values are rounded by default."""
+        if not self.status.has_solution:
+            raise SolverError(f"no solution available (status={self.status.value})")
+        v = self.values[var.index]
+        return float(round(v)) if integral else float(v)
+
+    def __getitem__(self, var: Var) -> float:
+        return self.value(var)
+
+    def require_solution(self) -> "Solution":
+        """Raise a typed error unless an incumbent solution exists."""
+        if self.status is Status.INFEASIBLE:
+            raise InfeasibleError(self.message or "model is infeasible")
+        if self.status is Status.UNBOUNDED:
+            raise UnboundedError(self.message or "model is unbounded")
+        if not self.status.has_solution:
+            raise SolverError(self.message or f"solver failed: {self.status.value}")
+        return self
+
+    def check(self, model: Model, tol: float = 1e-5) -> bool:
+        """Verify the incumbent against the model (defense in depth)."""
+        return self.status.has_solution and model.is_feasible(self.values, tol)

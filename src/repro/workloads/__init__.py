@@ -1,0 +1,41 @@
+"""Workload emulators for the paper's two application classes plus synthetics.
+
+* :func:`generate_sat_batch` — satellite data analysis (hot-spot window
+  queries over a chunked spatio-temporal dataset, Hilbert-declustered).
+* :func:`generate_image_batch` — biomedical image analysis (patient/study/
+  modality selections over an MRI+CT archive, round-robin placement).
+* :func:`generate_synthetic_batch` — direct control of sharing for tests.
+"""
+
+from .hilbert import decluster, hilbert_d2xy, hilbert_order_for, hilbert_xy2d
+from .image import (
+    IMAGE_PRESETS,
+    ImageConfig,
+    affinity_group_of,
+    generate_image_batch,
+    image_file_id,
+)
+from .overlap import image_groups, sat_groups, within_group_overlap
+from .sat import SAT_PRESETS, SatConfig, generate_sat_batch, hotspot_of, sat_file_id
+from .synthetic import generate_synthetic_batch
+
+__all__ = [
+    "generate_sat_batch",
+    "generate_image_batch",
+    "generate_synthetic_batch",
+    "SAT_PRESETS",
+    "SatConfig",
+    "IMAGE_PRESETS",
+    "ImageConfig",
+    "sat_file_id",
+    "image_file_id",
+    "hilbert_xy2d",
+    "hilbert_d2xy",
+    "hilbert_order_for",
+    "decluster",
+    "within_group_overlap",
+    "sat_groups",
+    "image_groups",
+    "hotspot_of",
+    "affinity_group_of",
+]

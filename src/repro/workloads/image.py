@@ -1,0 +1,179 @@
+"""Biomedical image analysis workload emulator (the paper's IMAGE application).
+
+Models follow-up imaging studies: ``NUM_PATIENTS`` patients, each with
+``STUDIES_PER_PATIENT`` studies (imaging sessions on different days); every
+study holds one 64 MB CT volume and nine 4 MB MRI slices — 100 MB per study,
+2 GB per patient, 2 TB in total (Section 7's dataset). Images of a patient
+are distributed across the storage nodes round-robin.
+
+A task selects images by (patient, study/date range, modality): a CT task
+reads the CT volume of ``CT_WINDOW`` consecutive studies (8 files, 512 MB);
+an MRI task reads the MRI series of one study (9 files, 36 MB) — matching
+the paper's ~8 files per task with 64 MB / 4 MB image sizes.
+
+Overlap is controlled by (a) the size of the *hot patient pool* tasks draw
+from and (b) the jitter of the study window, calibrated against the mean
+pairwise overlap among tasks of the same (patient, modality) affinity group:
+
+* ``high``   — ~85 % within-group overlap; pool of ``ceil(n/8)`` patients
+  also reproduces Fig. 5(b)'s aggregate footprints (500 tasks -> ~40 GB,
+  4000 tasks -> ~330 GB);
+* ``medium`` — ~40 % within-group overlap, larger pool;
+* ``zero``   — every task has a distinct patient: no sharing (the paper's
+  0 % IMAGE workload; ``low`` is accepted as an alias).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..batch import Batch, FileInfo, Task
+
+__all__ = [
+    "ImageConfig",
+    "IMAGE_PRESETS",
+    "generate_image_batch",
+    "image_file_id",
+    "affinity_group_of",
+]
+
+NUM_PATIENTS = 1000
+STUDIES_PER_PATIENT = 20
+MRI_PER_STUDY = 9
+CT_MB = 64.0
+MRI_MB = 4.0
+CT_WINDOW = 8  # studies per CT task
+COMPUTE_S_PER_MB = 0.001
+
+
+@dataclass(frozen=True)
+class ImageConfig:
+    """Hot-pool and jitter parameters for one overlap level.
+
+    ``hot_pool_divisor`` sets the hot-patient pool size to
+    ``ceil(num_tasks / divisor)`` (``None`` = unique patient per task). With
+    probability ``jitter_probability`` a CT task's study window start is
+    drawn uniformly from ``[0, ct_jitter]`` and an MRI task's study from
+    ``[0, mri_jitter]``; otherwise both sit at study 0.
+    """
+
+    hot_pool_divisor: float | None
+    ct_jitter: int
+    mri_jitter: int
+    jitter_probability: float = 1.0
+
+
+# Calibrated to ~85 / 40 / 0 per cent mean pairwise overlap within
+# (patient, modality) groups (tests/workloads/test_image.py).
+IMAGE_PRESETS: dict[str, ImageConfig] = {
+    "high": ImageConfig(
+        hot_pool_divisor=8.0, ct_jitter=1, mri_jitter=1, jitter_probability=0.35
+    ),
+    "medium": ImageConfig(
+        hot_pool_divisor=8.0,
+        ct_jitter=STUDIES_PER_PATIENT - CT_WINDOW,
+        mri_jitter=2,
+    ),
+    "zero": ImageConfig(hot_pool_divisor=None, ct_jitter=0, mri_jitter=0),
+}
+IMAGE_PRESETS["low"] = IMAGE_PRESETS["zero"]  # paper's 0 % low-overlap case
+
+
+def image_file_id(patient: int, study: int, modality: str, index: int = 0) -> str:
+    return f"img_p{patient:04d}_s{study:02d}_{modality}{index}"
+
+
+def _file_info(
+    patient: int, study: int, modality: str, index: int, num_storage: int
+) -> FileInfo:
+    # Round-robin placement of each patient's images across storage nodes,
+    # staggered by patient so patients start on different nodes.
+    per_study = 1 + MRI_PER_STUDY
+    image_index = study * per_study + (0 if modality == "ct" else 1 + index)
+    storage = (patient + image_index) % num_storage
+    size = CT_MB if modality == "ct" else MRI_MB
+    return FileInfo(image_file_id(patient, study, modality, index), size, storage)
+
+
+def generate_image_batch(
+    num_tasks: int,
+    overlap: str,
+    num_storage: int,
+    seed: int = 0,
+    ct_fraction: float = 0.5,
+) -> Batch:
+    """Generate an IMAGE batch with the given overlap level.
+
+    ``ct_fraction`` of the tasks are CT tasks (8 large files each); the rest
+    are MRI tasks (9 small files each).
+    """
+    if overlap not in IMAGE_PRESETS:
+        raise ValueError(
+            f"unknown overlap level {overlap!r}; use {sorted(IMAGE_PRESETS)}"
+        )
+    if num_tasks < 1:
+        raise ValueError("num_tasks must be >= 1")
+    cfg = IMAGE_PRESETS[overlap]
+    rng = np.random.default_rng(seed)
+
+    if cfg.hot_pool_divisor is None:
+        if num_tasks > NUM_PATIENTS:
+            raise ValueError(
+                f"zero-overlap workload supports at most {NUM_PATIENTS} tasks"
+            )
+        pool = rng.choice(NUM_PATIENTS, size=num_tasks, replace=False)
+        patient_of = {k: int(pool[k]) for k in range(num_tasks)}
+    else:
+        pool_size = max(1, math.ceil(num_tasks / cfg.hot_pool_divisor))
+        pool = rng.choice(
+            NUM_PATIENTS, size=min(pool_size, NUM_PATIENTS), replace=False
+        )
+        patient_of = {k: int(pool[k % len(pool)]) for k in range(num_tasks)}
+
+    files: dict[str, FileInfo] = {}
+    tasks: list[Task] = []
+
+    def add_file(patient: int, study: int, modality: str, index: int = 0) -> str:
+        fid = image_file_id(patient, study, modality, index)
+        if fid not in files:
+            files[fid] = _file_info(patient, study, modality, index, num_storage)
+        return fid
+
+    for k in range(num_tasks):
+        patient = patient_of[k]
+        is_ct = rng.random() < ct_fraction
+        jitter = cfg.ct_jitter if is_ct else cfg.mri_jitter
+        if rng.random() < cfg.jitter_probability and jitter > 0:
+            offset = int(rng.integers(0, jitter + 1))
+        else:
+            offset = 0
+        if is_ct:
+            s0 = min(offset, STUDIES_PER_PATIENT - CT_WINDOW)
+            accessed = [add_file(patient, s0 + i, "ct") for i in range(CT_WINDOW)]
+        else:
+            study = offset % STUDIES_PER_PATIENT
+            accessed = [
+                add_file(patient, study, "mri", i) for i in range(MRI_PER_STUDY)
+            ]
+        volume = sum(files[f].size_mb for f in accessed)
+        tasks.append(
+            Task(
+                task_id=f"img{k:05d}",
+                files=tuple(accessed),
+                compute_time=volume * COMPUTE_S_PER_MB,
+            )
+        )
+    return Batch(tasks, files)
+
+
+def affinity_group_of(batch: Batch, task_id: str) -> tuple[str, str]:
+    """(patient, modality) affinity group of a generated IMAGE task."""
+    t = batch.task(task_id)
+    first = t.files[0]  # img_pXXXX_sYY_<modality><index>
+    parts = first.split("_")
+    patient = parts[1]
+    modality = "ct" if parts[3].startswith("ct") else "mri"
+    return patient, modality

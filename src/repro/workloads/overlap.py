@@ -1,0 +1,47 @@
+"""Overlap measurement within affinity groups.
+
+The paper characterises workloads by the degree of file sharing *among the
+tasks that are related* (queries at the same hot spot, studies of the same
+patient). :func:`within_group_overlap` is the calibration metric for the
+generators' presets: the mean, over all task pairs in the same affinity
+group, of ``|A ∩ B| / min(|A|, |B|)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Hashable
+
+from ..batch import Batch
+
+__all__ = ["within_group_overlap", "sat_groups", "image_groups"]
+
+
+def within_group_overlap(
+    batch: Batch, group_of: Callable[[str], Hashable]
+) -> float:
+    """Mean pairwise overlap among tasks sharing an affinity group."""
+    groups: dict[Hashable, list[frozenset[str]]] = {}
+    for t in batch.tasks:
+        groups.setdefault(group_of(t.task_id), []).append(frozenset(t.files))
+    acc = 0.0
+    count = 0
+    for sets in groups.values():
+        for a, b in itertools.combinations(sets, 2):
+            acc += len(a & b) / min(len(a), len(b))
+            count += 1
+    return acc / count if count else 0.0
+
+
+def sat_groups(batch: Batch) -> Callable[[str], Hashable]:
+    """Affinity grouping for SAT batches (hot-spot set)."""
+    from .sat import hotspot_of
+
+    return lambda task_id: hotspot_of(task_id)
+
+
+def image_groups(batch: Batch) -> Callable[[str], Hashable]:
+    """Affinity grouping for IMAGE batches ((patient, modality))."""
+    from .image import affinity_group_of
+
+    return lambda task_id: affinity_group_of(batch, task_id)

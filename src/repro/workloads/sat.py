@@ -1,0 +1,163 @@
+"""Satellite data processing workload emulator (the paper's SAT application).
+
+Models the Titan-style remote-sensing dataset [7, 15]: sensor readings are
+grouped into spatio-temporal chunks, one chunk per 50 MB file, on a grid of
+``GRID_X x GRID_Y`` cells over ``NUM_DAYS`` days (10 x 5 x 20 = 1000 files
+= 50 GB, matching Section 7). Files are declustered over the storage nodes
+with a Hilbert curve on the spatial cell, offset per day.
+
+A task is a spatio-temporal window query directed at one of four *hot spot*
+sets. Each set owns a disjoint range of days, so there is no sharing across
+sets (as in the paper); the amount of sharing *within* a set is controlled
+by the query window size and the jitter of the window placement.
+
+Overlap levels are calibrated against the mean pairwise file overlap
+(``|A ∩ B| / min(|A|, |B|)``) between tasks of the same hot-spot set —
+the quantity the paper tunes to 85 % / 40 % / 10 % — with 8 files per task
+for ``high`` and 14 for ``medium``/``low``
+(tests/workloads/test_sat.py::test_overlap_calibration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..batch import Batch, FileInfo, Task
+from .hilbert import decluster
+
+__all__ = [
+    "SatConfig",
+    "SAT_PRESETS",
+    "generate_sat_batch",
+    "sat_file_id",
+    "hotspot_of",
+]
+
+GRID_X = 10
+GRID_Y = 5
+NUM_DAYS = 20
+FILE_MB = 50.0
+NUM_HOTSPOTS = 4
+COMPUTE_S_PER_MB = 0.001
+
+
+@dataclass(frozen=True)
+class SatConfig:
+    """Window-query parameters for one overlap level.
+
+    ``window`` is the (x, y, days) extent of each query. With probability
+    ``jitter_probability`` a task's window corner is displaced from the hot
+    spot's base corner by a uniform integer in ``[0, jitter]`` per dimension
+    (days are relative to the set's day range); otherwise it sits exactly on
+    the base corner.
+    """
+
+    window: tuple[int, int, int]
+    jitter: tuple[int, int, int]
+    jitter_probability: float = 1.0
+    bases: tuple[tuple[int, int], ...] = ((1, 0), (6, 0), (1, 3), (6, 3))
+
+    @property
+    def files_per_task(self) -> int:
+        wx, wy, wd = self.window
+        return wx * wy * wd
+
+    def validate(self):
+        wx, wy, wd = self.window
+        jx, jy, jd = self.jitter
+        days_per_set = NUM_DAYS // NUM_HOTSPOTS
+        if jd + wd > days_per_set:
+            raise ValueError("day window + jitter exceeds a hot spot's day range")
+        for bx, by in self.bases:
+            if bx + jx + wx > GRID_X or by + jy + wy > GRID_Y:
+                raise ValueError(
+                    f"base ({bx},{by}) + jitter + window exceeds the grid"
+                )
+
+
+# Calibrated to ~85 / 40 / 10 per cent mean pairwise within-set overlap.
+SAT_PRESETS: dict[str, SatConfig] = {
+    "high": SatConfig(window=(2, 2, 2), jitter=(1, 0, 0), jitter_probability=0.37),
+    "medium": SatConfig(
+        window=(7, 2, 1), jitter=(3, 3, 0), bases=((0, 0),) * 4
+    ),
+    "low": SatConfig(
+        window=(7, 2, 1), jitter=(3, 3, 4), bases=((0, 0),) * 4
+    ),
+}
+
+
+def sat_file_id(day: int, x: int, y: int) -> str:
+    return f"sat_d{day:02d}_x{x}_y{y}"
+
+
+def _storage_map(num_storage: int) -> dict[tuple[int, int], int]:
+    cells = [(x, y) for x in range(GRID_X) for y in range(GRID_Y)]
+    return decluster(cells, num_storage)
+
+
+def generate_sat_batch(
+    num_tasks: int,
+    overlap: str,
+    num_storage: int,
+    seed: int = 0,
+) -> Batch:
+    """Generate a SAT batch with the given overlap level.
+
+    Tasks are dealt round-robin to the four hot-spot sets; set ``s`` owns
+    days ``[5s, 5s+5)``.
+    """
+    if overlap not in SAT_PRESETS:
+        raise ValueError(
+            f"unknown overlap level {overlap!r}; use {sorted(SAT_PRESETS)}"
+        )
+    if num_tasks < 1:
+        raise ValueError("num_tasks must be >= 1")
+    cfg = SAT_PRESETS[overlap]
+    cfg.validate()
+    rng = np.random.default_rng(seed)
+    cell_storage = _storage_map(num_storage)
+
+    wx, wy, wd = cfg.window
+    jx, jy, jd = cfg.jitter
+    days_per_set = NUM_DAYS // NUM_HOTSPOTS
+
+    files: dict[str, FileInfo] = {}
+    tasks: list[Task] = []
+    for k in range(num_tasks):
+        s = k % NUM_HOTSPOTS
+        bx, by = cfg.bases[s]
+        if rng.random() < cfg.jitter_probability:
+            ox = int(rng.integers(0, jx + 1))
+            oy = int(rng.integers(0, jy + 1))
+            od = int(rng.integers(0, jd + 1))
+        else:
+            ox = oy = od = 0
+        x0, y0 = bx + ox, by + oy
+        d0 = s * days_per_set + od
+        accessed: list[str] = []
+        for dx in range(wx):
+            for dy in range(wy):
+                for dd in range(wd):
+                    x, y, d = x0 + dx, y0 + dy, d0 + dd
+                    fid = sat_file_id(d, x, y)
+                    if fid not in files:
+                        storage = (cell_storage[(x, y)] + d) % num_storage
+                        files[fid] = FileInfo(fid, FILE_MB, storage)
+                    accessed.append(fid)
+        volume = len(accessed) * FILE_MB
+        tasks.append(
+            Task(
+                task_id=f"sat{k:04d}",
+                files=tuple(accessed),
+                compute_time=volume * COMPUTE_S_PER_MB,
+            )
+        )
+    return Batch(tasks, files)
+
+
+def hotspot_of(task_id: str) -> int:
+    """Hot-spot set of a generated task (the task's affinity group)."""
+    return int(task_id.removeprefix("sat")) % NUM_HOTSPOTS

@@ -1,0 +1,171 @@
+"""Unit tests for Gantt-chart timelines, overlays and common-slot search."""
+
+import pytest
+
+from repro.cluster import Interval, Overlay, Timeline, earliest_common_slot
+
+
+class TestInterval:
+    def test_duration(self):
+        assert Interval(1.0, 3.5).duration == 2.5
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_ordering_by_start(self):
+        assert Interval(1.0, 2.0) < Interval(3.0, 4.0)
+
+
+class TestTimeline:
+    def test_empty_is_free(self):
+        tl = Timeline("t")
+        assert tl.is_free(0.0, 100.0)
+        assert tl.earliest_slot(5.0) == 0.0
+        assert tl.horizon == 0.0
+
+    def test_reserve_and_conflict(self):
+        tl = Timeline("t")
+        tl.reserve(1.0, 2.0)
+        assert not tl.is_free(0.0, 1.5)
+        assert not tl.is_free(2.5, 3.5)
+        assert tl.is_free(3.0, 5.0)
+        with pytest.raises(ValueError):
+            tl.reserve(2.0, 1.0)
+
+    def test_adjacent_reservations_allowed(self):
+        tl = Timeline("t")
+        tl.reserve(0.0, 1.0)
+        tl.reserve(1.0, 1.0)  # back-to-back is fine
+        assert len(tl) == 2
+
+    def test_earliest_slot_in_gap(self):
+        tl = Timeline("t")
+        tl.reserve(0.0, 1.0)
+        tl.reserve(3.0, 1.0)
+        assert tl.earliest_slot(2.0) == 1.0
+        assert tl.earliest_slot(2.5) == 4.0  # gap too small
+
+    def test_earliest_slot_not_before(self):
+        tl = Timeline("t")
+        tl.reserve(0.0, 1.0)
+        assert tl.earliest_slot(1.0, not_before=0.5) == 1.0
+        assert tl.earliest_slot(1.0, not_before=2.0) == 2.0
+
+    def test_earliest_slot_inside_busy(self):
+        tl = Timeline("t")
+        tl.reserve(0.0, 10.0)
+        assert tl.earliest_slot(1.0, not_before=5.0) == 10.0
+
+    def test_next_free(self):
+        tl = Timeline("t")
+        tl.reserve(1.0, 2.0)
+        assert tl.next_free(0.0) == 0.0
+        assert tl.next_free(1.5) == 3.0
+
+    def test_zero_duration(self):
+        tl = Timeline("t")
+        tl.reserve(0.0, 2.0)
+        assert tl.earliest_slot(0.0, not_before=1.0) == 2.0
+
+    def test_busy_time_and_horizon(self):
+        tl = Timeline("t")
+        tl.reserve(0.0, 1.0)
+        tl.reserve(5.0, 2.0)
+        assert tl.busy_time() == 3.0
+        assert tl.horizon == 7.0
+
+    def test_many_reservations_sorted(self):
+        tl = Timeline("t")
+        for start in (6.0, 2.0, 4.0, 0.0):
+            tl.reserve(start, 1.0)
+        starts = [iv.start for iv in tl.intervals]
+        assert starts == sorted(starts)
+
+    def test_tag_preserved(self):
+        tl = Timeline("t")
+        iv = tl.reserve(0.0, 1.0, tag="xfer:f1")
+        assert iv.tag == "xfer:f1"
+
+
+class TestOverlay:
+    def test_virtual_blocks_slot(self):
+        tl = Timeline("t")
+        ov = Overlay(tl)
+        ov.reserve(0.0, 2.0)
+        assert ov.earliest_slot(1.0) == 2.0
+        # base is untouched
+        assert tl.earliest_slot(1.0) == 0.0
+
+    def test_combines_base_and_virtual(self):
+        tl = Timeline("t")
+        tl.reserve(0.0, 1.0)
+        ov = Overlay(tl)
+        ov.reserve(1.0, 1.0)
+        assert ov.earliest_slot(1.0) == 2.0
+
+    def test_gap_between_base_and_virtual(self):
+        tl = Timeline("t")
+        tl.reserve(0.0, 1.0)
+        tl.reserve(5.0, 1.0)
+        ov = Overlay(tl)
+        ov.reserve(1.0, 1.0)
+        assert ov.earliest_slot(2.0) == 2.0  # gap [2,5)
+        assert ov.earliest_slot(4.0) == 6.0
+
+    def test_conflicting_virtual_rejected(self):
+        tl = Timeline("t")
+        ov = Overlay(tl)
+        ov.reserve(0.0, 2.0)
+        with pytest.raises(ValueError):
+            ov.reserve(1.0, 1.0)
+
+    def test_commit_writes_through(self):
+        tl = Timeline("t")
+        ov = Overlay(tl)
+        ov.reserve(0.0, 2.0, tag="a")
+        ov.reserve(3.0, 1.0, tag="b")
+        ov.commit()
+        assert len(tl) == 2
+        assert not ov.virtual
+        assert not tl.is_free(0.5, 1.0)
+
+
+class TestCommonSlot:
+    def test_single_resource(self):
+        tl = Timeline("a")
+        tl.reserve(0.0, 3.0)
+        assert earliest_common_slot([tl], 1.0) == 3.0
+
+    def test_two_resources_interleaved(self):
+        a = Timeline("a")
+        b = Timeline("b")
+        a.reserve(0.0, 2.0)
+        b.reserve(2.0, 2.0)
+        # a free from 2, b free [0,2) and from 4 -> first common 1.0-slot: 4.0
+        assert earliest_common_slot([a, b], 1.0) == 4.0
+
+    def test_fits_common_gap(self):
+        a = Timeline("a")
+        b = Timeline("b")
+        a.reserve(0.0, 1.0)
+        a.reserve(4.0, 1.0)
+        b.reserve(0.0, 2.0)
+        # common gap [2,4) fits 2.0
+        assert earliest_common_slot([a, b], 2.0) == 2.0
+        assert earliest_common_slot([a, b], 3.0) == 5.0
+
+    def test_not_before_respected(self):
+        a = Timeline("a")
+        assert earliest_common_slot([a], 1.0, not_before=7.5) == 7.5
+
+    def test_empty_resources(self):
+        assert earliest_common_slot([], 1.0, not_before=3.0) == 3.0
+
+    def test_with_overlays(self):
+        a = Timeline("a")
+        ov = Overlay(a)
+        ov.reserve(0.0, 5.0)
+        b = Timeline("b")
+        b.reserve(5.0, 1.0)
+        assert earliest_common_slot([ov, b], 1.0) == 6.0

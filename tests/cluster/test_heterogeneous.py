@@ -1,0 +1,112 @@
+"""Tests for the heterogeneous-compute-speed extension."""
+
+import pytest
+
+from repro.batch import Batch, FileInfo, Task
+from repro.cluster import ClusterState, ComputeNode, Platform, Runtime, StorageNode
+from repro.core import run_batch
+from repro.workloads import generate_synthetic_batch
+
+
+def hetero_platform(speeds=(1.0, 4.0)):
+    return Platform(
+        compute_nodes=tuple(
+            ComputeNode(i, speed=s) for i, s in enumerate(speeds)
+        ),
+        storage_nodes=(StorageNode(0, disk_bw=210.0),),
+        storage_network_bw=1000.0,
+        compute_network_bw=1000.0,
+    )
+
+
+class TestPlatform:
+    def test_speed_validation(self):
+        with pytest.raises(ValueError):
+            ComputeNode(0, speed=0.0)
+
+    def test_task_compute_time_scales(self):
+        p = hetero_platform()
+        assert p.task_compute_time(0, 8.0) == 8.0
+        assert p.task_compute_time(1, 8.0) == 2.0
+
+    def test_homogeneity_flag(self):
+        assert hetero_platform((1.0, 1.0)).is_homogeneous
+        assert not hetero_platform((1.0, 2.0)).is_homogeneous
+
+
+class TestRuntimeHonoursSpeed:
+    def test_exec_duration_scales_with_speed(self):
+        p = hetero_platform((1.0, 4.0))
+        files = {"a": FileInfo("a", 210.0, 0), "b": FileInfo("b", 210.0, 0)}
+        # identical tasks placed on the slow and the fast node
+        tasks = [Task("slow", ("a",), 8.0), Task("fast", ("b",), 8.0)]
+        batch = Batch(tasks, files)
+        state = ClusterState.initial(p, batch)
+        rt = Runtime(p, state)
+        res = rt.execute(batch.tasks, {"slow": 0, "fast": 1})
+        rec = {r.task_id: r for r in res.records}
+        slow_exec = rec["slow"].completion - rec["slow"].exec_start
+        fast_exec = rec["fast"].completion - rec["fast"].exec_start
+        # Same read time (1.05 s); compute 8 s vs 2 s.
+        assert slow_exec - fast_exec == pytest.approx(6.0)
+
+
+class TestSchedulersExploitSpeed:
+    @pytest.mark.parametrize("scheme", ["minmin", "jdp", "maxmin", "sufferage"])
+    def test_fast_node_gets_more_work(self, scheme):
+        # Compute-heavy tasks (tiny files): a 4x faster node should receive
+        # the majority of tasks under any completion-time-driven heuristic.
+        p = hetero_platform((1.0, 4.0))
+        files = {f"f{i}": FileInfo(f"f{i}", 1.0, 0) for i in range(12)}
+        tasks = [Task(f"t{i}", (f"f{i}",), 10.0) for i in range(12)]
+        batch = Batch(tasks, files)
+        res = run_batch(batch, p, scheme)
+        on_fast = sum(
+            1
+            for sb in res.sub_batches
+            for t, node in sb.plan.mapping.items()
+            if node == 1
+        )
+        assert on_fast > 6, f"{scheme} put only {on_fast}/12 tasks on the fast node"
+
+    def test_hetero_beats_forced_balance(self):
+        # A speed-aware mapping must beat one that ignores speed: compare
+        # makespans between the hetero platform and the same tasks forced
+        # into an even split.
+        p = hetero_platform((1.0, 4.0))
+        files = {f"f{i}": FileInfo(f"f{i}", 1.0, 0) for i in range(10)}
+        tasks = [Task(f"t{i}", (f"f{i}",), 10.0) for i in range(10)]
+        batch = Batch(tasks, files)
+        smart = run_batch(batch, p, "minmin")
+
+        state = ClusterState.initial(p, batch)
+        rt = Runtime(p, state)
+        forced = rt.execute(
+            batch.tasks, {f"t{i}": i % 2 for i in range(10)}
+        )
+        assert smart.makespan < forced.makespan
+
+    def test_ip_accounts_for_speed(self):
+        from repro.core import IPScheduler
+
+        p = hetero_platform((1.0, 4.0))
+        files = {f"f{i}": FileInfo(f"f{i}", 1.0, 0) for i in range(6)}
+        tasks = [Task(f"t{i}", (f"f{i}",), 10.0) for i in range(6)]
+        batch = Batch(tasks, files)
+        res = run_batch(
+            batch, p, IPScheduler(time_limit=20.0, mip_rel_gap=0.0)
+        )
+        on_fast = sum(
+            1
+            for sb in res.sub_batches
+            for t, node in sb.plan.mapping.items()
+            if node == 1
+        )
+        # Optimal split for 10s tasks on speeds (1, 4): ~4:1 ratio.
+        assert on_fast >= 4
+
+    def test_bipartition_still_valid_on_hetero(self):
+        p = hetero_platform((1.0, 2.0))
+        batch = generate_synthetic_batch(12, 16, 2, 1, seed=2)
+        res = run_batch(batch, p, "bipartition")
+        assert res.num_tasks == 12

@@ -1,0 +1,186 @@
+"""Property-based invariants of the runtime engine.
+
+On random batches and mappings, regardless of platform parameters:
+
+* every task completes exactly once, after all its inputs are available;
+* no resource timeline ever double-books (checked structurally);
+* transfer accounting matches timeline contents;
+* disabling replication yields remote-only traffic;
+* makespans are never *below* obvious lower bounds (critical path of the
+  largest single node's work cannot be beaten).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.batch import Batch, FileInfo, Task
+from repro.cluster import ClusterState, ComputeNode, Platform, Runtime, StorageNode
+
+
+@st.composite
+def scenario(draw):
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    num_compute = draw(st.integers(1, 4))
+    num_storage = draw(st.integers(1, 3))
+    num_files = draw(st.integers(1, 8))
+    num_tasks = draw(st.integers(1, 8))
+
+    files = {
+        f"f{i}": FileInfo(
+            f"f{i}",
+            float(rng.uniform(10.0, 200.0)),
+            int(rng.integers(0, num_storage)),
+        )
+        for i in range(num_files)
+    }
+    tasks = []
+    for k in range(num_tasks):
+        size = int(rng.integers(1, min(3, num_files) + 1))
+        chosen = rng.choice(num_files, size=size, replace=False)
+        tasks.append(
+            Task(
+                f"t{k}",
+                tuple(f"f{i}" for i in sorted(chosen)),
+                float(rng.uniform(0.0, 5.0)),
+            )
+        )
+    platform = Platform(
+        compute_nodes=tuple(ComputeNode(i) for i in range(num_compute)),
+        storage_nodes=tuple(
+            StorageNode(s, disk_bw=float(rng.uniform(20, 300)))
+            for s in range(num_storage)
+        ),
+        storage_network_bw=float(rng.uniform(50, 1000)),
+        compute_network_bw=float(rng.uniform(50, 1000)),
+        shared_link_bw=float(rng.uniform(10, 100))
+        if draw(st.booleans())
+        else None,
+    )
+    mapping = {
+        t.task_id: int(rng.integers(0, num_compute)) for t in tasks
+    }
+    return platform, Batch(tasks, files), mapping
+
+
+def _timelines(rt):
+    tls = list(rt.node_tl) + list(rt.storage_tl)
+    if rt.link_tl is not None:
+        tls.append(rt.link_tl)
+    return tls
+
+
+@settings(max_examples=50, deadline=None)
+@given(scenario())
+def test_every_task_completes_once(sc):
+    platform, batch, mapping = sc
+    state = ClusterState.initial(platform, batch)
+    rt = Runtime(platform, state)
+    res = rt.execute(batch.tasks, mapping)
+    assert sorted(r.task_id for r in res.records) == sorted(
+        t.task_id for t in batch.tasks
+    )
+    state.check_consistency()
+
+
+@settings(max_examples=50, deadline=None)
+@given(scenario())
+def test_no_timeline_double_booking(sc):
+    platform, batch, mapping = sc
+    state = ClusterState.initial(platform, batch)
+    rt = Runtime(platform, state)
+    rt.execute(batch.tasks, mapping)
+    for tl in _timelines(rt):
+        ivs = sorted(tl.intervals, key=lambda iv: iv.start)
+        for a, b in zip(ivs, ivs[1:]):
+            assert a.end <= b.start + 1e-9, (tl.name, a, b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(scenario())
+def test_execution_follows_transfers(sc):
+    platform, batch, mapping = sc
+    state = ClusterState.initial(platform, batch)
+    rt = Runtime(platform, state)
+    res = rt.execute(batch.tasks, mapping)
+    for rec in res.records:
+        assert rec.exec_start >= rec.transfers_done - 1e-9
+        assert rec.completion > rec.exec_start - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario())
+def test_no_replication_means_remote_only(sc):
+    platform, batch, mapping = sc
+    state = ClusterState.initial(platform, batch)
+    rt = Runtime(platform, state, allow_replication=False)
+    rt.execute(batch.tasks, mapping)
+    assert state.stats.replications == 0
+    # Every task's inputs reached their node: remote transfer count must
+    # equal the number of distinct (node, file) placements.
+    placements = sum(len(state.files_on(i)) for i in range(platform.num_compute))
+    assert state.stats.remote_transfers == placements
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario())
+def test_makespan_lower_bound(sc):
+    """Makespan >= any single node's unavoidable work (its tasks' local
+    reads + compute), and >= every file's cheapest possible delivery."""
+    platform, batch, mapping = sc
+    state = ClusterState.initial(platform, batch)
+    rt = Runtime(platform, state)
+    res = rt.execute(batch.tasks, mapping)
+
+    for i in range(platform.num_compute):
+        node_tasks = [t for t in batch.tasks if mapping[t.task_id] == i]
+        unavoidable = sum(
+            t.compute_time
+            + sum(
+                platform.local_read_time(i, batch.file_size(f))
+                for f in t.files
+            )
+            for t in node_tasks
+        )
+        assert res.makespan >= unavoidable - 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(scenario())
+def test_stats_volumes_match_counts(sc):
+    platform, batch, mapping = sc
+    state = ClusterState.initial(platform, batch)
+    rt = Runtime(platform, state)
+    rt.execute(batch.tasks, mapping)
+    s = state.stats
+    assert s.remote_volume_mb >= 0
+    if s.remote_transfers == 0:
+        assert s.remote_volume_mb == 0
+    if s.replications == 0:
+        assert s.replication_volume_mb == 0
+    # Volumes are sums of real file sizes: bounded by count * max size.
+    max_size = max(f.size_mb for f in batch.files.values())
+    assert s.remote_volume_mb <= s.remote_transfers * max_size + 1e-9
+    assert s.replication_volume_mb <= s.replications * max_size + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(scenario(), st.integers(1, 3))
+def test_candidate_limit_preserves_completeness(sc, limit):
+    platform, batch, mapping = sc
+    state = ClusterState.initial(platform, batch)
+    rt = Runtime(platform, state, candidate_limit=limit)
+    res = rt.execute(batch.tasks, mapping)
+    assert len(res.records) == len(batch.tasks)
+
+
+@settings(max_examples=25, deadline=None)
+@given(scenario())
+def test_fifo_ordering_completes(sc):
+    platform, batch, mapping = sc
+    state = ClusterState.initial(platform, batch)
+    rt = Runtime(platform, state, ordering="fifo")
+    res = rt.execute(batch.tasks, mapping)
+    assert len(res.records) == len(batch.tasks)

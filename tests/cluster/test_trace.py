@@ -1,0 +1,103 @@
+"""Tests for Gantt trace export."""
+
+import json
+
+import pytest
+
+from repro.batch import Batch, FileInfo, Task
+from repro.cluster import (
+    ClusterState,
+    Runtime,
+    osc_xio,
+    render_ascii,
+    to_chrome_trace,
+    trace_events,
+)
+from repro.cluster.trace import TraceEvent
+
+
+@pytest.fixture
+def executed_runtime():
+    platform = osc_xio(num_compute=2, num_storage=2)
+    files = {
+        "a": FileInfo("a", 210.0, 0),
+        "b": FileInfo("b", 210.0, 1),
+    }
+    batch = Batch(
+        [Task("t0", ("a",), 1.0), Task("t1", ("b",), 1.0)], files
+    )
+    state = ClusterState.initial(platform, batch)
+    rt = Runtime(platform, state)
+    rt.execute(batch.tasks, {"t0": 0, "t1": 1})
+    return rt
+
+
+class TestTraceEvents:
+    def test_events_sorted(self, executed_runtime):
+        events = trace_events(executed_runtime)
+        assert events
+        starts = [e.start for e in events]
+        assert starts == sorted(starts)
+
+    def test_kinds_classified(self, executed_runtime):
+        kinds = {e.kind for e in trace_events(executed_runtime)}
+        assert "xfer" in kinds
+        assert "exec" in kinds
+
+    def test_event_fields(self):
+        e = TraceEvent("compute0", 1.0, 3.0, "exec:t0")
+        assert e.kind == "exec"
+        assert e.duration == 2.0
+        assert TraceEvent("x", 0, 1, "weird").kind == "other"
+
+    def test_covers_all_resources_with_work(self, executed_runtime):
+        resources = {e.resource for e in trace_events(executed_runtime)}
+        assert "compute0" in resources
+        assert "compute1" in resources
+        assert "storage0" in resources
+
+
+class TestAsciiRendering:
+    def test_contains_rows_and_legend(self, executed_runtime):
+        out = render_ascii(executed_runtime)
+        assert "compute0" in out
+        assert "storage1" in out
+        assert "x=transfer" in out
+        assert "#" in out  # some execution rendered
+
+    def test_empty_runtime(self):
+        platform = osc_xio(num_compute=1, num_storage=1)
+        state = ClusterState(platform, {})
+        rt = Runtime(platform, state)
+        assert render_ascii(rt) == "(empty gantt)"
+
+    def test_width_respected(self, executed_runtime):
+        out = render_ascii(executed_runtime, width=40)
+        body_lines = [l for l in out.splitlines()[1:-1]]
+        for line in body_lines:
+            name, _, chart = line.partition("  ")
+            assert len(chart) <= 41
+
+
+class TestChromeTrace:
+    def test_valid_json_with_events(self, executed_runtime):
+        doc = json.loads(to_chrome_trace(executed_runtime))
+        events = doc["traceEvents"]
+        complete = [e for e in events if e.get("ph") == "X"]
+        meta = [e for e in events if e.get("ph") == "M"]
+        assert complete
+        assert meta
+        for e in complete:
+            assert e["dur"] >= 0
+            assert e["ts"] >= 0
+
+    def test_microsecond_scaling(self, executed_runtime):
+        doc = json.loads(to_chrome_trace(executed_runtime))
+        events = trace_events(executed_runtime)
+        max_end_us = max((e.end for e in events)) * 1e6
+        max_ts = max(
+            e["ts"] + e["dur"]
+            for e in doc["traceEvents"]
+            if e.get("ph") == "X"
+        )
+        assert max_ts == pytest.approx(max_end_us)

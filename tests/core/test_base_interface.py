@@ -1,0 +1,76 @@
+"""Tests for the Scheduler base interface and reset semantics."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterState, osc_xio
+from repro.core import (
+    BiPartitionScheduler,
+    Scheduler,
+    SubBatchPlan,
+    make_scheduler,
+    register_scheduler,
+    run_batch,
+)
+from repro.core.base import _REGISTRY
+from repro.workloads import generate_synthetic_batch
+
+
+class TestSchedulerBase:
+    def test_abstract_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            Scheduler()  # type: ignore[abstract]
+
+    def test_reset_reseeds_rng(self):
+        s = BiPartitionScheduler(seed=11)
+        first = s.rng.integers(1_000_000)
+        s.reset()
+        assert s.rng.integers(1_000_000) == first
+
+    def test_registration_roundtrip(self):
+        @register_scheduler("_test_dummy")
+        class Dummy(Scheduler):
+            uses_subbatches = False
+
+            def next_subbatch(self, batch, pending, platform, state):
+                return SubBatchPlan(
+                    list(pending), {t: 0 for t in pending}
+                )
+
+        try:
+            s = make_scheduler("_test_dummy")
+            assert s.name == "_test_dummy"
+            batch = generate_synthetic_batch(4, 6, 2, 1, seed=0)
+            res = run_batch(batch, osc_xio(1, 1), s)
+            assert res.num_tasks == 4
+        finally:
+            _REGISTRY.pop("_test_dummy", None)
+
+    def test_default_eviction_policy_counts_pending(self):
+        from repro.core import PopularityPolicy
+
+        batch = generate_synthetic_batch(6, 8, 2, 1, seed=0)
+        s = make_scheduler("minmin")
+        policy = s.eviction_policy(batch)
+        assert isinstance(policy, PopularityPolicy)
+        platform = osc_xio(1, 1)
+        state = ClusterState.initial(platform, batch)
+        hot = max(
+            batch.referenced_files(),
+            key=lambda f: len(batch.require_map()[f]),
+        )
+        state.place(0, hot)
+        assert policy.popularity(state, hot) > 0
+
+    def test_same_seed_same_plan(self):
+        batch = generate_synthetic_batch(12, 16, 3, 2, seed=1)
+        platform = osc_xio(2, 2)
+        plans = []
+        for _ in range(2):
+            s = BiPartitionScheduler(seed=7)
+            state = ClusterState.initial(platform, batch)
+            plan = s.next_subbatch(
+                batch, [t.task_id for t in batch.tasks], platform, state
+            )
+            plans.append(tuple(sorted(plan.mapping.items())))
+        assert plans[0] == plans[1]

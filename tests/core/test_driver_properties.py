@@ -1,0 +1,119 @@
+"""Property-based tests of the full driver across all heuristic schedulers.
+
+Random platforms and batches through ``run_batch``: regardless of scheme,
+the batch must drain exactly once, statistics must be self-consistent, and
+disk capacities must never be exceeded. (The IP scheduler is exercised
+separately at small scale — solver time makes it unsuitable for fuzzing.)
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import ComputeNode, Platform, StorageNode
+from repro.core import make_scheduler, run_batch
+from repro.workloads import generate_synthetic_batch
+
+HEURISTICS = ("bipartition", "minmin", "jdp", "maxmin", "sufferage")
+
+
+@st.composite
+def driver_scenario(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    num_compute = draw(st.integers(1, 3))
+    num_storage = draw(st.integers(1, 2))
+    num_tasks = draw(st.integers(1, 12))
+    files_per_task = draw(st.integers(1, 3))
+    num_files = max(files_per_task, draw(st.integers(4, 16)))
+    file_mb = float(rng.uniform(5.0, 80.0))
+    batch = generate_synthetic_batch(
+        num_tasks,
+        num_files,
+        files_per_task,
+        num_storage,
+        hot_probability=float(rng.uniform(0, 0.9)),
+        file_size_mb=file_mb,
+        size_spread=float(rng.uniform(0, 0.5)),
+        seed=seed,
+    )
+    # Disk: either unlimited or tight-but-feasible (>= one task's files).
+    if draw(st.booleans()):
+        disk = math.inf
+    else:
+        disk = batch.max_task_footprint_mb() * float(rng.uniform(1.1, 3.0))
+    platform = Platform(
+        compute_nodes=tuple(
+            ComputeNode(i, disk_space_mb=disk) for i in range(num_compute)
+        ),
+        storage_nodes=tuple(
+            StorageNode(s, disk_bw=float(rng.uniform(20, 300)))
+            for s in range(num_storage)
+        ),
+        storage_network_bw=float(rng.uniform(100, 1000)),
+        compute_network_bw=float(rng.uniform(100, 1000)),
+    )
+    return platform, batch
+
+
+@settings(max_examples=25, deadline=None)
+@given(driver_scenario(), st.sampled_from(HEURISTICS))
+def test_batch_always_drains(sc, scheme):
+    platform, batch = sc
+    res = run_batch(batch, platform, scheme, max_subbatches=200)
+    executed = [
+        r.task_id for sb in res.sub_batches for r in sb.execution.records
+    ]
+    assert sorted(executed) == sorted(t.task_id for t in batch.tasks)
+
+
+@settings(max_examples=25, deadline=None)
+@given(driver_scenario(), st.sampled_from(HEURISTICS))
+def test_stats_self_consistent(sc, scheme):
+    platform, batch = sc
+    res = run_batch(batch, platform, scheme, max_subbatches=200)
+    s = res.stats
+    assert s.remote_transfers >= 0
+    assert s.remote_volume_mb >= 0
+    # Every referenced file must have crossed from storage at least once.
+    assert s.remote_transfers >= 1
+    # Makespan covers at least the total compute of the busiest possible
+    # packing (total compute / num nodes at the fastest speed).
+    min_compute = batch.total_compute_time / platform.num_compute
+    assert res.makespan >= min_compute / max(
+        n.speed for n in platform.compute_nodes
+    ) - 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(driver_scenario())
+def test_schemes_agree_on_singleton_problems(sc):
+    """With one compute node there is no placement freedom: all heuristics
+    must produce (nearly) the same makespan."""
+    platform, batch = sc
+    if platform.num_compute != 1:
+        platform = Platform(
+            compute_nodes=(platform.compute_nodes[0],),
+            storage_nodes=platform.storage_nodes,
+            storage_network_bw=platform.storage_network_bw,
+            compute_network_bw=platform.compute_network_bw,
+        )
+    spans = []
+    for scheme in ("minmin", "jdp", "bipartition"):
+        res = run_batch(batch, platform, scheme, max_subbatches=200)
+        spans.append(res.makespan)
+    # Task order may differ, but single-node work conservation bounds the
+    # spread tightly unless eviction patterns diverge.
+    assert max(spans) <= min(spans) * 1.35 + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(driver_scenario(), st.sampled_from(HEURISTICS))
+def test_no_replication_flag_respected(sc, scheme):
+    platform, batch = sc
+    res = run_batch(
+        batch, platform, scheme, allow_replication=False, max_subbatches=200
+    )
+    assert res.stats.replications == 0

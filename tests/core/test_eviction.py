@@ -1,0 +1,94 @@
+"""Tests for the eviction policies (Eq. 22 popularity, LRU, size)."""
+
+import pytest
+
+from repro.batch import Batch, FileInfo, Task
+from repro.cluster import ClusterState, osc_xio
+from repro.core import LRUPolicy, PopularityPolicy, SizePolicy
+
+
+@pytest.fixture
+def setup():
+    platform = osc_xio(num_compute=2, num_storage=2, disk_space_mb=1000.0)
+    files = {
+        "small_hot": FileInfo("small_hot", 10.0, 0),
+        "big_hot": FileInfo("big_hot", 100.0, 0),
+        "small_cold": FileInfo("small_cold", 10.0, 1),
+        "big_cold": FileInfo("big_cold", 100.0, 1),
+    }
+    tasks = [
+        Task("t0", ("small_hot", "big_hot"), 1.0),
+        Task("t1", ("small_hot", "big_hot"), 1.0),
+        Task("t2", ("small_hot",), 1.0),
+        Task("t3", ("small_cold", "big_cold"), 1.0),
+    ]
+    batch = Batch(tasks, files)
+    state = ClusterState.initial(platform, batch)
+    for f in files:
+        state.place(0, f)
+    return batch, state
+
+
+class TestPopularity:
+    def test_formula(self, setup):
+        batch, state = setup
+        policy = PopularityPolicy.for_batch(batch)
+        # freq(small_hot)=3, size=10, copies=1 -> 30
+        assert policy.popularity(state, "small_hot") == pytest.approx(30.0)
+        # freq(big_hot)=2, size=100 -> 200
+        assert policy.popularity(state, "big_hot") == pytest.approx(200.0)
+
+    def test_copies_divide_popularity(self, setup):
+        batch, state = setup
+        policy = PopularityPolicy.for_batch(batch)
+        before = policy.popularity(state, "big_hot")
+        state.place(1, "big_hot")
+        assert policy.popularity(state, "big_hot") == pytest.approx(before / 2)
+
+    def test_order_least_popular_first(self, setup):
+        batch, state = setup
+        policy = PopularityPolicy.for_batch(batch)
+        order = policy.order(state, 0, state.files_on(0))
+        # small_cold: 1*10=10 is least popular; big_hot: 200 most.
+        assert order[0] == "small_cold"
+        assert order[-1] == "big_hot"
+
+    def test_update_pending(self, setup):
+        batch, state = setup
+        policy = PopularityPolicy.for_batch(batch)
+        policy.update_pending({"big_hot": 0, "small_cold": 5})
+        assert policy.popularity(state, "big_hot") == 0.0
+        assert policy.popularity(state, "small_cold") == pytest.approx(50.0)
+
+    def test_unknown_file_zero(self, setup):
+        batch, state = setup
+        state.register_files({"x": FileInfo("x", 5.0, 0)})
+        policy = PopularityPolicy.for_batch(batch)
+        assert policy.popularity(state, "x") == 0.0
+
+
+class TestLRU:
+    def test_least_recent_first(self, setup):
+        _, state = setup
+        cache = state.caches[0]
+        cache.touch("small_hot", 10.0)
+        cache.touch("big_hot", 5.0)
+        cache.touch("small_cold", 1.0)
+        cache.touch("big_cold", 7.0)
+        policy = LRUPolicy()
+        order = policy.order(state, 0, state.files_on(0))
+        assert order == ["small_cold", "big_hot", "big_cold", "small_hot"]
+
+    def test_update_pending_is_noop(self, setup):
+        _, state = setup
+        policy = LRUPolicy()
+        policy.update_pending({"whatever": 3})  # must not raise
+
+
+class TestSize:
+    def test_smallest_first(self, setup):
+        _, state = setup
+        policy = SizePolicy()
+        order = policy.order(state, 0, state.files_on(0))
+        assert {order[0], order[1]} == {"small_hot", "small_cold"}
+        assert {order[2], order[3]} == {"big_hot", "big_cold"}

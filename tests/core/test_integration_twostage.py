@@ -1,0 +1,103 @@
+"""Integration tests of multi-sub-batch behaviour (Section 4.2 semantics)."""
+
+import pytest
+
+from repro.batch import Batch, FileInfo, Task
+from repro.cluster import ClusterState, Runtime, osc_xio
+from repro.core import BiPartitionScheduler, IPScheduler, run_batch
+
+
+def pressured_setup():
+    """8 x 100 MB files, 4 two-file tasks, 250 MB disks -> 2+ sub-batches.
+
+    Tasks t0/t1 share files with t2/t3 across the sub-batch boundary, so
+    copies created by the first sub-batch are reusable by the second.
+    """
+    platform = osc_xio(num_compute=2, num_storage=2, disk_space_mb=250.0)
+    files = {f"f{i}": FileInfo(f"f{i}", 100.0, i % 2) for i in range(6)}
+    tasks = [
+        Task("t0", ("f0", "f1"), 1.0),
+        Task("t1", ("f2", "f3"), 1.0),
+        Task("t2", ("f0", "f4"), 1.0),  # reuses f0
+        Task("t3", ("f2", "f5"), 1.0),  # reuses f2
+    ]
+    return platform, Batch(tasks, files)
+
+
+class TestPresenceCreditAcrossSubBatches:
+    def test_ip_reuses_copies(self):
+        platform, batch = pressured_setup()
+        res = run_batch(
+            batch,
+            platform,
+            IPScheduler(time_limit=30.0),
+            max_subbatches=10,
+        )
+        assert res.num_tasks == 4
+        # 6 distinct files; without reuse 8 transfers would be needed (each
+        # task stages both inputs). With presence credit / dynamic reuse at
+        # most 8 total placements, of which some must be cache hits: total
+        # transferred volume stays below the naive 800 MB.
+        total = res.stats.remote_volume_mb + res.stats.replication_volume_mb
+        assert total <= 800.0 - 1e-6
+
+    def test_bipartition_bounded_transfers(self):
+        platform, batch = pressured_setup()
+        res = run_batch(batch, platform, BiPartitionScheduler(seed=0))
+        assert res.num_tasks == 4
+        # BiPartition decouples mapping from staging: with per-node disks
+        # too small to co-locate the sharing pairs, a shared file can
+        # legitimately be fetched once per needing node (the runtime may
+        # even prefer remote over a replica whose source node is busy).
+        # The hard bound is one transfer per (task, file) access.
+        total = res.stats.remote_volume_mb + res.stats.replication_volume_mb
+        assert total <= batch.total_access_mb + 1e-6
+        # And the batch footprint itself was respected per sub-batch.
+        for sb in res.sub_batches:
+            assert batch.subset(sb.plan.task_ids).distinct_file_mb <= 500.0
+
+    def test_subbatches_execute_sequentially(self):
+        platform, batch = pressured_setup()
+        res = run_batch(batch, platform, BiPartitionScheduler(seed=0))
+        if res.num_sub_batches >= 2:
+            ends = [sb.execution.makespan for sb in res.sub_batches]
+            starts = [sb.execution.start_time for sb in res.sub_batches]
+            for prev_end, nxt_start in zip(ends, starts[1:]):
+                assert nxt_start >= prev_end - 1e-9
+
+    def test_eviction_between_subbatches_recorded(self):
+        # Tight disks force evictions between sub-batches.
+        platform = osc_xio(num_compute=1, num_storage=2, disk_space_mb=220.0)
+        files = {f"f{i}": FileInfo(f"f{i}", 100.0, i % 2) for i in range(6)}
+        tasks = [
+            Task(f"t{i}", (f"f{2 * i}", f"f{2 * i + 1}"), 0.5)
+            for i in range(3)
+        ]
+        batch = Batch(tasks, files)
+        res = run_batch(batch, platform, BiPartitionScheduler(seed=0))
+        assert res.num_tasks == 3
+        assert res.stats.evictions >= 2  # old pairs evicted for new ones
+
+
+class TestInFlightFiles:
+    def test_execution_waits_for_inflight_arrival(self):
+        """A later task must not start before a file still in transit for
+        an earlier commit has actually arrived."""
+        platform = osc_xio(num_compute=1, num_storage=1)
+        files = {
+            "big": FileInfo("big", 2100.0, 0),  # 10s remote transfer
+            "tiny": FileInfo("tiny", 21.0, 0),
+        }
+        tasks = [
+            Task("first", ("big",), 0.1),
+            Task("second", ("big", "tiny"), 0.1),
+        ]
+        batch = Batch(tasks, files)
+        state = ClusterState.initial(platform, batch)
+        rt = Runtime(platform, state)
+        res = rt.execute(batch.tasks, {"first": 0, "second": 0})
+        rec = {r.task_id: r for r in res.records}
+        # "second" reuses the in-flight/arrived copy of big: it must start
+        # after big's arrival (10s) and never re-transfer it.
+        assert rec["second"].exec_start >= 10.0 - 1e-6
+        assert state.stats.remote_volume_mb == pytest.approx(2121.0)

@@ -1,0 +1,100 @@
+"""Detailed tests of the JDP + Data Least Loaded baseline behaviour."""
+
+import pytest
+
+from repro.batch import Batch, FileInfo, Task
+from repro.cluster import ClusterState, osc_xio
+from repro.core import JobDataPresentScheduler, run_batch
+
+
+def plan_for(scheduler, batch, platform, state=None):
+    state = state or ClusterState.initial(platform, batch)
+    return scheduler.next_subbatch(
+        batch, [t.task_id for t in batch.tasks], platform, state
+    )
+
+
+class TestThreshold:
+    def test_default_threshold_scales_with_batch(self):
+        platform = osc_xio(num_compute=4, num_storage=2)
+        # 64 tasks / (4 * 4) = 4: files with >= 4 pending accesses push.
+        files = {"hot": FileInfo("hot", 10.0, 0)}
+        files.update(
+            {f"c{i}": FileInfo(f"c{i}", 10.0, 1) for i in range(64)}
+        )
+        tasks = [Task(f"t{i}", ("hot", f"c{i}"), 1.0) for i in range(64)]
+        batch = Batch(tasks, files)
+        plan = plan_for(JobDataPresentScheduler(), batch, platform)
+        pushed = {f for f, _ in plan.staging.pushes}
+        assert "hot" in pushed
+        assert not any(f.startswith("c") for f in pushed)
+
+    def test_explicit_threshold_respected(self):
+        platform = osc_xio(num_compute=2, num_storage=1)
+        files = {"f": FileInfo("f", 10.0, 0), "g": FileInfo("g", 10.0, 0)}
+        tasks = [
+            Task("t0", ("f",), 1.0),
+            Task("t1", ("f",), 1.0),
+            Task("t2", ("g",), 1.0),
+        ]
+        batch = Batch(tasks, files)
+        plan = plan_for(
+            JobDataPresentScheduler(popularity_threshold=2), batch, platform
+        )
+        pushed = {f for f, _ in plan.staging.pushes}
+        assert pushed == {"f"}  # g has one access only
+
+
+class TestDllTargeting:
+    def test_push_to_least_loaded(self):
+        platform = osc_xio(num_compute=3, num_storage=1)
+        files = {
+            "a": FileInfo("a", 10.0, 0),
+            "b": FileInfo("b", 10.0, 0),
+        }
+        tasks = [Task(f"t{i}", ("a",), 1.0) for i in range(4)] + [
+            Task("u0", ("b",), 1.0),
+            Task("u1", ("b",), 1.0),
+        ]
+        batch = Batch(tasks, files)
+        plan = plan_for(
+            JobDataPresentScheduler(popularity_threshold=2), batch, platform
+        )
+        # Two hot files -> two pushes on two *different* (least loaded)
+        # nodes.
+        targets = [n for _, n in plan.staging.pushes]
+        assert len(targets) == 2
+        assert len(set(targets)) == 2
+
+    def test_push_skipped_when_already_replicated(self):
+        platform = osc_xio(num_compute=2, num_storage=1)
+        files = {"f": FileInfo("f", 10.0, 0)}
+        tasks = [Task(f"t{i}", ("f",), 1.0) for i in range(4)]
+        batch = Batch(tasks, files)
+        state = ClusterState.initial(platform, batch)
+        state.place(0, "f")
+        plan = plan_for(
+            JobDataPresentScheduler(popularity_threshold=2),
+            batch,
+            platform,
+            state,
+        )
+        # DLL would push to node 0 (least loaded), but f already sits there.
+        assert ("f", 0) not in plan.staging.pushes
+
+    def test_end_to_end_pushes_materialise(self):
+        platform = osc_xio(num_compute=2, num_storage=1)
+        files = {"f": FileInfo("f", 100.0, 0)}
+        files.update({f"c{i}": FileInfo(f"c{i}", 50.0, 0) for i in range(4)})
+        tasks = [Task(f"t{i}", ("f", f"c{i}"), 0.5) for i in range(4)]
+        batch = Batch(tasks, files)
+        res = run_batch(
+            batch,
+            platform,
+            JobDataPresentScheduler(popularity_threshold=2),
+        )
+        assert res.num_tasks == 4
+        # The push plus per-node staging means f reaches both nodes at most
+        # once each.
+        assert res.stats.remote_volume_mb + res.stats.replication_volume_mb \
+            <= batch.total_access_mb

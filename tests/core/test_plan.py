@@ -1,0 +1,89 @@
+"""Tests for plan/result containers and the scheduler registry."""
+
+import pytest
+
+from repro.cluster import StagingPlan
+from repro.cluster.state import TransferStats
+from repro.cluster.stats import ExecutionResult
+from repro.core import (
+    BatchResult,
+    SubBatchPlan,
+    SubBatchResult,
+    available_schedulers,
+    make_scheduler,
+)
+
+
+class TestSubBatchPlan:
+    def test_valid_plan(self):
+        p = SubBatchPlan(task_ids=["a", "b"], mapping={"a": 0, "b": 1})
+        assert p.staging is None
+
+    def test_missing_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            SubBatchPlan(task_ids=["a", "b"], mapping={"a": 0})
+
+    def test_with_staging(self):
+        p = SubBatchPlan(
+            task_ids=["a"], mapping={"a": 0}, staging=StagingPlan()
+        )
+        assert p.staging.pushes == []
+
+
+class TestBatchResult:
+    def _result(self):
+        r = BatchResult(scheduler="x", makespan=10.0, scheduling_seconds=0.5)
+        exec_res = ExecutionResult(start_time=0.0, makespan=10.0)
+        r.sub_batches.append(
+            SubBatchResult(
+                plan=SubBatchPlan(["a", "b"], {"a": 0, "b": 0}),
+                execution=exec_res,
+                scheduling_seconds=0.5,
+            )
+        )
+        r.stats = TransferStats(remote_transfers=3, remote_volume_mb=30.0)
+        return r
+
+    def test_counts(self):
+        r = self._result()
+        assert r.num_sub_batches == 1
+        assert r.num_tasks == 2
+
+    def test_scheduling_ms_per_task(self):
+        r = self._result()
+        assert r.scheduling_ms_per_task == pytest.approx(250.0)
+
+    def test_zero_tasks(self):
+        r = BatchResult(scheduler="x", makespan=0.0, scheduling_seconds=0.0)
+        assert r.scheduling_ms_per_task == 0.0
+
+    def test_summary_contains_key_numbers(self):
+        s = self._result().summary()
+        assert "x" in s
+        assert "10.0s" in s
+        assert "remote 3" in s
+
+
+class TestRegistry:
+    def test_all_four_registered(self):
+        names = available_schedulers()
+        for expected in ("ip", "bipartition", "minmin", "jdp"):
+            assert expected in names
+
+    def test_make_by_name(self):
+        s = make_scheduler("minmin")
+        assert s.name == "minmin"
+        assert not s.uses_subbatches
+
+    def test_kwargs_passed(self):
+        s = make_scheduler("ip", time_limit=5.0)
+        assert s.time_limit == 5.0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("quantum")
+
+    def test_seed_controls_rng(self):
+        a = make_scheduler("bipartition", seed=1)
+        b = make_scheduler("bipartition", seed=1)
+        assert a.rng.integers(1000) == b.rng.integers(1000)

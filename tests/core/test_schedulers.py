@@ -1,0 +1,287 @@
+"""Unit tests for the four schedulers' mapping behaviour."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.batch import Batch, FileInfo, Task
+from repro.cluster import ClusterState, osc_xio
+from repro.core import (
+    BiPartitionScheduler,
+    IPScheduler,
+    JobDataPresentScheduler,
+    LRUPolicy,
+    MinMinScheduler,
+    PopularityPolicy,
+    estimated_exec_times,
+)
+
+
+def small_batch(num_storage=2):
+    """Two pairs of tasks with strong intra-pair file sharing."""
+    files = {
+        "a": FileInfo("a", 100.0, 0),
+        "b": FileInfo("b", 100.0, 1 % num_storage),
+        "c": FileInfo("c", 100.0, 0),
+        "d": FileInfo("d", 100.0, 1 % num_storage),
+    }
+    tasks = [
+        Task("t0", ("a", "b"), 1.0),
+        Task("t1", ("a", "b"), 1.0),
+        Task("t2", ("c", "d"), 1.0),
+        Task("t3", ("c", "d"), 1.0),
+    ]
+    return Batch(tasks, files)
+
+
+@pytest.fixture
+def platform():
+    return osc_xio(num_compute=2, num_storage=2)
+
+
+def plan_for(scheduler, batch, platform):
+    state = ClusterState.initial(platform, batch)
+    pending = [t.task_id for t in batch.tasks]
+    return scheduler.next_subbatch(batch, pending, platform, state)
+
+
+class TestMinMin:
+    def test_all_tasks_mapped(self, platform):
+        plan = plan_for(MinMinScheduler(), small_batch(), platform)
+        assert set(plan.mapping) == {"t0", "t1", "t2", "t3"}
+        assert set(plan.mapping.values()) <= {0, 1}
+
+    def test_implicit_replication_spreads_sharers(self, platform):
+        # MinMin's ready times accumulate per node while replication is
+        # cheap (8 Gbps), so it spreads file-sharing tasks across nodes and
+        # creates extra copies — the greedy behaviour the paper's proposed
+        # schemes improve on.
+        plan = plan_for(MinMinScheduler(), small_batch(), platform)
+        assert set(plan.mapping.values()) == {0, 1}
+
+    def test_colocates_when_replication_expensive(self):
+        from repro.cluster import ComputeNode, Platform, StorageNode
+
+        slow_rep = Platform(
+            compute_nodes=(ComputeNode(0), ComputeNode(1)),
+            storage_nodes=(StorageNode(0, disk_bw=100.0), StorageNode(1, disk_bw=100.0)),
+            storage_network_bw=1000.0,
+            compute_network_bw=5.0,  # replication nearly useless
+        )
+        plan = plan_for(MinMinScheduler(), small_batch(), slow_rep)
+        # Staging dominates: the cheapest MCT for t1/t3 is the node where
+        # the pair's files are already planned.
+        assert plan.mapping["t0"] == plan.mapping["t1"]
+        assert plan.mapping["t2"] == plan.mapping["t3"]
+
+    def test_no_subbatching(self):
+        assert not MinMinScheduler.uses_subbatches
+
+    def test_popularity_eviction_policy(self):
+        s = MinMinScheduler()
+        assert isinstance(s.eviction_policy(small_batch()), PopularityPolicy)
+
+    def test_respects_existing_placement(self, platform):
+        batch = small_batch()
+        state = ClusterState.initial(platform, batch)
+        state.place(1, "a")
+        state.place(1, "b")
+        plan = MinMinScheduler().next_subbatch(
+            batch, [t.task_id for t in batch.tasks], platform, state
+        )
+        # The first a+b task must go to node 1 where the data sits (zero
+        # staging cost); its twin may be spread by the ready-time penalty.
+        first_ab = min(
+            ("t0", "t1"), key=lambda t: 0 if plan.mapping[t] == 1 else 1
+        )
+        assert plan.mapping[first_ab] == 1
+
+    def test_balances_when_no_sharing(self, platform):
+        files = {f"f{i}": FileInfo(f"f{i}", 100.0, i % 2) for i in range(4)}
+        tasks = [Task(f"t{i}", (f"f{i}",), 5.0) for i in range(4)]
+        plan = plan_for(MinMinScheduler(), Batch(tasks, files), platform)
+        nodes = list(plan.mapping.values())
+        assert nodes.count(0) == 2
+        assert nodes.count(1) == 2
+
+
+class TestJDP:
+    def test_all_tasks_mapped(self, platform):
+        plan = plan_for(JobDataPresentScheduler(), small_batch(), platform)
+        assert set(plan.mapping) == {"t0", "t1", "t2", "t3"}
+
+    def test_lru_eviction_policy(self):
+        s = JobDataPresentScheduler()
+        assert isinstance(s.eviction_policy(small_batch()), LRUPolicy)
+
+    def test_dll_pushes_hot_files(self, platform):
+        # Every task reads "hot"; with threshold 2 it must be pushed.
+        files = {"hot": FileInfo("hot", 100.0, 0)}
+        tasks = [Task(f"t{i}", ("hot",), 1.0) for i in range(6)]
+        batch = Batch(tasks, files)
+        s = JobDataPresentScheduler(popularity_threshold=2)
+        plan = plan_for(s, batch, platform)
+        assert plan.staging is not None
+        assert ("hot", plan.staging.pushes[0][1]) in plan.staging.pushes
+
+    def test_no_pushes_below_threshold(self, platform):
+        files = {f"f{i}": FileInfo(f"f{i}", 10.0, 0) for i in range(4)}
+        tasks = [Task(f"t{i}", (f"f{i}",), 1.0) for i in range(4)]
+        s = JobDataPresentScheduler(popularity_threshold=2)
+        plan = plan_for(s, Batch(tasks, files), platform)
+        assert plan.staging.pushes == []
+
+    def test_data_present_wins(self, platform):
+        batch = small_batch()
+        state = ClusterState.initial(platform, batch)
+        state.place(1, "c")
+        state.place(1, "d")
+        s = JobDataPresentScheduler(popularity_threshold=99)
+        plan = s.next_subbatch(
+            batch, [t.task_id for t in batch.tasks], platform, state
+        )
+        assert plan.mapping["t2"] == 1
+        assert plan.mapping["t3"] == 1
+
+
+class TestBiPartition:
+    def test_colocates_sharing_pairs(self, platform):
+        plan = plan_for(BiPartitionScheduler(seed=0), small_batch(), platform)
+        assert plan.mapping["t0"] == plan.mapping["t1"]
+        assert plan.mapping["t2"] == plan.mapping["t3"]
+        # And the pairs are split across the two nodes for load balance.
+        assert plan.mapping["t0"] != plan.mapping["t2"]
+
+    def test_single_subbatch_when_unlimited(self, platform):
+        plan = plan_for(BiPartitionScheduler(seed=0), small_batch(), platform)
+        assert len(plan.task_ids) == 4
+
+    def test_subbatches_respect_aggregate_disk(self):
+        platform = osc_xio(num_compute=2, num_storage=2, disk_space_mb=150.0)
+        batch = small_batch()
+        # Aggregate 300 MB < 400 MB of distinct files -> at least 2 sub-batches.
+        s = BiPartitionScheduler(seed=0)
+        state = ClusterState.initial(platform, batch)
+        pending = [t.task_id for t in batch.tasks]
+        plan = s.next_subbatch(batch, pending, platform, state)
+        footprint = batch.subset(plan.task_ids).distinct_file_mb
+        assert footprint <= 300.0
+        assert len(plan.task_ids) < 4
+
+    def test_estimated_exec_times_positive(self, platform):
+        batch = small_batch()
+        est = estimated_exec_times(batch, list(batch.tasks), platform)
+        assert (est > 0).all()
+        # Equal-size tasks with symmetric sharing -> equal estimates.
+        assert est[0] == pytest.approx(est[1])
+
+    def test_estimates_grow_with_volume(self, platform):
+        files = {
+            "small": FileInfo("small", 10.0, 0),
+            "big": FileInfo("big", 1000.0, 0),
+        }
+        tasks = [Task("s", ("small",), 0.1), Task("b", ("big",), 0.1)]
+        batch = Batch(tasks, files)
+        est = estimated_exec_times(batch, tasks, platform)
+        assert est[1] > est[0]
+
+    def test_reset_clears_queue(self, platform):
+        s = BiPartitionScheduler(seed=0)
+        plan_for(s, small_batch(), platform)
+        assert s._queue is not None
+        s.reset()
+        assert s._queue is None
+
+    def test_disk_repair_defers_tasks(self):
+        # One node cannot hold both files of every task: some tasks defer.
+        platform = osc_xio(num_compute=1, num_storage=2, disk_space_mb=250.0)
+        files = {f"f{i}": FileInfo(f"f{i}", 100.0, i % 2) for i in range(6)}
+        tasks = [
+            Task(f"t{i}", (f"f{2*i}", f"f{2*i+1}"), 1.0) for i in range(3)
+        ]
+        batch = Batch(tasks, files)
+        s = BiPartitionScheduler(seed=0)
+        state = ClusterState.initial(platform, batch)
+        plan = s.next_subbatch(
+            batch, [t.task_id for t in batch.tasks], platform, state
+        )
+        # 6 files x 100 MB > 250 MB: not all three tasks can run at once.
+        assert 1 <= len(plan.task_ids) < 3
+
+
+class TestIP:
+    def test_optimal_colocation(self, platform):
+        s = IPScheduler(time_limit=30.0, mip_rel_gap=0.0)
+        plan = plan_for(s, small_batch(), platform)
+        assert plan.mapping["t0"] == plan.mapping["t1"]
+        assert plan.mapping["t2"] == plan.mapping["t3"]
+        assert plan.mapping["t0"] != plan.mapping["t2"]
+
+    def test_staging_plan_produced(self, platform):
+        s = IPScheduler(time_limit=30.0)
+        plan = plan_for(s, small_batch(), platform)
+        assert plan.staging is not None
+        # Every (file, node) a task needs has a planned source.
+        for t, node in plan.mapping.items():
+            for f in small_batch().task(t).files:
+                assert (f, node) in plan.staging.sources
+
+    def test_each_file_fetched_remotely_at_least_once(self, platform):
+        s = IPScheduler(time_limit=30.0, mip_rel_gap=0.0)
+        plan = plan_for(s, small_batch(), platform)
+        remote_files = {
+            f for (f, i), src in plan.staging.sources.items()
+            if src.kind == "remote"
+        }
+        assert remote_files == {"a", "b", "c", "d"}
+
+    def test_presence_credit_avoids_transfers(self, platform):
+        batch = small_batch()
+        state = ClusterState.initial(platform, batch)
+        for f in ("a", "b", "c", "d"):
+            state.place(0, f)
+            state.place(1, f)
+        s = IPScheduler(time_limit=30.0)
+        plan = s.next_subbatch(
+            batch, [t.task_id for t in batch.tasks], platform, state
+        )
+        # Everything is already everywhere: no transfers needed at all.
+        assert plan.staging.sources == {}
+
+    def test_limited_disk_two_stage(self):
+        platform = osc_xio(num_compute=2, num_storage=2, disk_space_mb=200.0)
+        batch = small_batch()
+        s = IPScheduler(time_limit=30.0)
+        state = ClusterState.initial(platform, batch)
+        plan = s.next_subbatch(
+            batch, [t.task_id for t in batch.tasks], platform, state
+        )
+        # Sub-batch selection must not exceed the 400 MB aggregate and the
+        # per-node 200 MB constraint; with 4 x 100 MB files, at most one
+        # pair's files fit per node.
+        assert 1 <= len(plan.task_ids) <= 4
+        footprint = batch.subset(plan.task_ids).distinct_file_mb
+        assert footprint <= 400.0
+
+    def test_solver_backend_selectable(self, platform):
+        files = {"a": FileInfo("a", 100.0, 0)}
+        batch = Batch([Task("t0", ("a",), 1.0)], files)
+        s = IPScheduler(solver="branch-bound", time_limit=30.0)
+        plan = plan_for(s, batch, platform)
+        assert plan.mapping["t0"] in (0, 1)
+
+    def test_greedy_subbatch_fallback(self, platform):
+        s = IPScheduler()
+        batch = small_batch()
+        state = ClusterState.initial(platform, batch)
+        chosen = s._greedy_subbatch(batch, list(batch.tasks), platform, state)
+        assert chosen  # never empty
+        assert {t.task_id for t in chosen} <= {t.task_id for t in batch.tasks}
+
+    def test_greedy_allocation_fallback(self, platform):
+        s = IPScheduler()
+        batch = small_batch()
+        state = ClusterState.initial(platform, batch)
+        plan = s._greedy_allocation(batch, list(batch.tasks), platform, state)
+        assert set(plan.mapping) == {t.task_id for t in batch.tasks}

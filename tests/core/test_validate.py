@@ -1,0 +1,183 @@
+"""Tests for sub-batch plan validation."""
+
+import pytest
+
+from repro.batch import Batch, FileInfo, Task
+from repro.cluster import ClusterState, PlannedSource, StagingPlan, osc_xio
+from repro.core import SubBatchPlan, validate_plan
+from repro.core.validate import ValidationReport, Violation
+
+
+@pytest.fixture
+def setup():
+    platform = osc_xio(num_compute=2, num_storage=2, disk_space_mb=250.0)
+    files = {
+        "a": FileInfo("a", 100.0, 0),
+        "b": FileInfo("b", 100.0, 1),
+        "c": FileInfo("c", 100.0, 0),
+    }
+    tasks = [
+        Task("t0", ("a", "b"), 1.0),
+        Task("t1", ("c",), 1.0),
+    ]
+    return platform, Batch(tasks, files)
+
+
+class TestMappingChecks:
+    def test_valid_plan_passes(self, setup):
+        platform, batch = setup
+        plan = SubBatchPlan(["t0", "t1"], {"t0": 0, "t1": 1})
+        report = validate_plan(plan, batch, platform)
+        assert report.ok, str(report)
+
+    def test_invalid_node_flagged(self, setup):
+        platform, batch = setup
+        plan = SubBatchPlan(["t0"], {"t0": 7})
+        report = validate_plan(plan, batch, platform)
+        assert any(v.code == "V1" for v in report.violations)
+
+    def test_unknown_task_flagged(self, setup):
+        platform, batch = setup
+        plan = SubBatchPlan(["ghost"], {"ghost": 0})
+        report = validate_plan(plan, batch, platform)
+        assert any(v.code == "V1" for v in report.violations)
+
+    def test_unselected_mapping_flagged(self, setup):
+        platform, batch = setup
+        plan = SubBatchPlan(["t0"], {"t0": 0, "t1": 1})
+        report = validate_plan(plan, batch, platform)
+        assert any(v.code == "V2" for v in report.violations)
+
+
+class TestDiskChecks:
+    def test_over_capacity_flagged(self, setup):
+        platform, batch = setup
+        # t0 (200 MB) + t1 (100 MB) on node 0 = 300 > 250 MB.
+        plan = SubBatchPlan(["t0", "t1"], {"t0": 0, "t1": 0})
+        report = validate_plan(plan, batch, platform)
+        assert any(v.code == "V3" for v in report.violations)
+
+    def test_push_counts_toward_disk(self, setup):
+        platform, batch = setup
+        staging = StagingPlan(pushes=[("c", 0)])
+        plan = SubBatchPlan(["t0"], {"t0": 0}, staging=staging)
+        report = validate_plan(plan, batch, platform)
+        # 200 (t0) + 100 (push) > 250.
+        assert any(v.code == "V3" for v in report.violations)
+
+    def test_unlimited_disk_never_flags(self, setup):
+        _, batch = setup
+        platform = osc_xio(num_compute=2, num_storage=2)
+        plan = SubBatchPlan(["t0", "t1"], {"t0": 0, "t1": 0})
+        assert validate_plan(plan, batch, platform).ok
+
+
+class TestStagingChecks:
+    def test_unknown_file_flagged(self, setup):
+        platform, batch = setup
+        staging = StagingPlan(sources={("zzz", 0): PlannedSource("remote")})
+        plan = SubBatchPlan(["t0"], {"t0": 0}, staging=staging)
+        report = validate_plan(plan, batch, platform)
+        assert any(v.code == "V4" for v in report.violations)
+
+    def test_self_replica_flagged(self, setup):
+        platform, batch = setup
+        staging = StagingPlan(
+            sources={("a", 0): PlannedSource("replica", source_node=0)}
+        )
+        plan = SubBatchPlan(["t0"], {"t0": 0}, staging=staging)
+        report = validate_plan(plan, batch, platform)
+        assert any(v.code == "V4" for v in report.violations)
+
+    def test_unsatisfiable_replica_flagged(self, setup):
+        platform, batch = setup
+        staging = StagingPlan(
+            sources={("a", 0): PlannedSource("replica", source_node=1)}
+        )
+        plan = SubBatchPlan(["t0"], {"t0": 0}, staging=staging)
+        report = validate_plan(plan, batch, platform)
+        assert any(v.code == "V5" for v in report.violations)
+
+    def test_replica_from_planned_destination_ok(self, setup):
+        platform, batch = setup
+        staging = StagingPlan(
+            sources={
+                ("a", 1): PlannedSource("remote"),
+                ("a", 0): PlannedSource("replica", source_node=1),
+            }
+        )
+        plan = SubBatchPlan(["t0"], {"t0": 0}, staging=staging)
+        report = validate_plan(plan, batch, platform)
+        assert not any(v.code == "V5" for v in report.violations)
+
+    def test_replica_from_current_holder_ok(self, setup):
+        platform, batch = setup
+        state = ClusterState.initial(platform, batch)
+        state.place(1, "a")
+        staging = StagingPlan(
+            sources={("a", 0): PlannedSource("replica", source_node=1)}
+        )
+        plan = SubBatchPlan(["t0"], {"t0": 0}, staging=staging)
+        report = validate_plan(plan, batch, platform, state)
+        assert not any(v.code == "V5" for v in report.violations)
+
+    def test_bad_push_flagged(self, setup):
+        platform, batch = setup
+        staging = StagingPlan(pushes=[("nope", 0), ("a", 99)])
+        plan = SubBatchPlan(["t0"], {"t0": 1}, staging=staging)
+        report = validate_plan(plan, batch, platform)
+        codes = {v.code for v in report.violations}
+        assert "V7" in codes
+
+
+class TestReportApi:
+    def test_raise_if_invalid(self):
+        r = ValidationReport()
+        r.add("V1", "boom")
+        with pytest.raises(ValueError, match="V1"):
+            r.raise_if_invalid()
+
+    def test_ok_report_does_not_raise(self):
+        ValidationReport().raise_if_invalid()
+
+    def test_str_rendering(self):
+        r = ValidationReport([Violation("V3", "too big")])
+        assert "V3" in str(r)
+        assert str(ValidationReport()) == "OK"
+
+
+class TestSchedulerOutputsAreValid:
+    """The real schedulers' plans must pass validation (integration)."""
+
+    @pytest.mark.parametrize("scheme", ["minmin", "jdp", "bipartition", "maxmin", "sufferage"])
+    def test_heuristic_plans_valid(self, scheme):
+        from repro.core import make_scheduler
+        from repro.workloads import generate_synthetic_batch
+
+        platform = osc_xio(num_compute=3, num_storage=2)
+        batch = generate_synthetic_batch(
+            15, 20, 3, 2, hot_probability=0.5, seed=4
+        )
+        scheduler = make_scheduler(scheme)
+        state = ClusterState.initial(platform, batch)
+        plan = scheduler.next_subbatch(
+            batch, [t.task_id for t in batch.tasks], platform, state
+        )
+        report = validate_plan(plan, batch, platform, state)
+        assert report.ok, str(report)
+
+    def test_ip_plan_valid(self):
+        from repro.core import IPScheduler
+        from repro.workloads import generate_synthetic_batch
+
+        platform = osc_xio(num_compute=2, num_storage=2)
+        batch = generate_synthetic_batch(
+            6, 8, 2, 2, hot_probability=0.6, seed=2
+        )
+        scheduler = IPScheduler(time_limit=20.0)
+        state = ClusterState.initial(platform, batch)
+        plan = scheduler.next_subbatch(
+            batch, [t.task_id for t in batch.tasks], platform, state
+        )
+        report = validate_plan(plan, batch, platform, state)
+        assert report.ok, str(report)

@@ -1,0 +1,122 @@
+"""Tests for the experiment runner, figure builders and reporting."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    Record,
+    Table,
+    default_scheduler_kwargs,
+    fig3_image_overlap,
+    fig5a_replication_benefit,
+    run_config,
+)
+
+
+class TestConfig:
+    def test_platform_construction(self):
+        cfg = ExperimentConfig(
+            experiment="t", workload="image", overlap="high",
+            num_tasks=10, storage="xio", num_compute=3, num_storage=5,
+        )
+        p = cfg.platform()
+        assert p.num_compute == 3
+        assert p.num_storage == 5
+        assert p.shared_link_bw is None
+
+    def test_osumed_platform(self):
+        cfg = ExperimentConfig(
+            experiment="t", workload="sat", overlap="low",
+            num_tasks=10, storage="osumed",
+        )
+        assert cfg.platform().shared_link_bw is not None
+
+    def test_batch_generation(self):
+        cfg = ExperimentConfig(
+            experiment="t", workload="sat", overlap="high",
+            num_tasks=12, storage="xio",
+        )
+        assert len(cfg.batch()) == 12
+
+    def test_disk_space_applied(self):
+        cfg = ExperimentConfig(
+            experiment="t", workload="image", overlap="high",
+            num_tasks=10, storage="xio", disk_space_mb=5000.0,
+        )
+        assert cfg.platform().aggregate_disk_space == 20000.0
+
+    def test_default_kwargs(self):
+        assert default_scheduler_kwargs("ip")["time_limit"] == 30.0
+        assert default_scheduler_kwargs("bipartition") == {}
+
+
+class TestRunConfig:
+    def test_produces_record(self):
+        cfg = ExperimentConfig(
+            experiment="unit", workload="image", overlap="high",
+            num_tasks=8, storage="xio", scheme="bipartition",
+        )
+        rec = run_config(cfg, x="high")
+        assert rec.experiment == "unit"
+        assert rec.makespan_s > 0
+        assert rec.scheme == "bipartition"
+
+    def test_norep_scheme_label(self):
+        cfg = ExperimentConfig(
+            experiment="unit", workload="image", overlap="high",
+            num_tasks=8, storage="xio", scheme="bipartition",
+            allow_replication=False,
+        )
+        rec = run_config(cfg)
+        assert rec.scheme == "bipartition-norep"
+        assert rec.replications == 0
+
+
+class TestFigureBuilders:
+    def test_fig3_reduced(self):
+        t = fig3_image_overlap(
+            storage="xio", num_tasks=8, schemes=("bipartition", "minmin"),
+        )
+        assert len(t.records) == 6  # 3 overlap levels x 2 schemes
+        overlaps = {r.x for r in t.records}
+        assert overlaps == {"high", "medium", "zero"}
+
+    def test_fig5a_reduced(self):
+        t = fig5a_replication_benefit(num_tasks=8)
+        assert len(t.records) == 4  # 2 workloads x (rep, norep)
+        schemes = {r.scheme for r in t.records}
+        assert "bipartition" in schemes
+        assert "bipartition-norep" in schemes
+
+
+class TestTable:
+    def _table(self):
+        t = Table("demo")
+        t.add(
+            Record(
+                experiment="e", workload="w", scheme="s", x=1,
+                makespan_s=2.5, scheduling_ms_per_task=0.1,
+            )
+        )
+        return t
+
+    def test_render_contains_title_and_data(self):
+        out = self._table().render()
+        assert "demo" in out
+        assert "2.50" in out
+
+    def test_render_custom_columns(self):
+        out = self._table().render(columns=("scheme", "makespan_s"))
+        assert "scheme" in out
+        assert "workload" not in out
+
+    def test_csv(self):
+        csv = self._table().to_csv(("scheme", "makespan_s"))
+        assert csv.splitlines()[0] == "scheme,makespan_s"
+        assert csv.splitlines()[1] == "s,2.50"
+
+    def test_empty_table_renders(self):
+        t = Table("empty")
+        assert "empty" in t.render()

@@ -1,0 +1,65 @@
+"""Structure tests for the remaining figure builders at tiny scale."""
+
+import pytest
+
+from repro.experiments import (
+    fig4_sat_overlap,
+    fig5b_batch_size,
+    fig6a_compute_scaling,
+    fig6b_scheduling_overhead,
+)
+
+
+class TestFig4:
+    def test_reduced_grid(self):
+        t = fig4_sat_overlap(
+            storage="xio", num_tasks=8, schemes=("bipartition", "jdp")
+        )
+        assert len(t.records) == 6
+        assert {r.workload for r in t.records} == {"sat"}
+        assert {r.x for r in t.records} == {"high", "medium", "low"}
+
+
+class TestFig5b:
+    def test_reduced_grid(self):
+        t = fig5b_batch_size(
+            batch_sizes=(12, 24),
+            disk_space_mb=1500.0,
+            schemes=("bipartition", "minmin"),
+        )
+        assert len(t.records) == 4
+        assert {r.x for r in t.records} == {12, 24}
+
+    def test_makespan_grows_with_batch(self):
+        t = fig5b_batch_size(
+            batch_sizes=(12, 36),
+            disk_space_mb=1500.0,
+            schemes=("bipartition",),
+        )
+        by = {r.x: r.makespan_s for r in t.records}
+        assert by[36] > by[12]
+
+
+class TestFig6a:
+    def test_reduced_grid(self):
+        t = fig6a_compute_scaling(
+            node_counts=(2, 4), num_tasks=16, schemes=("bipartition",)
+        )
+        assert len(t.records) == 2
+        by = {r.x: r.makespan_s for r in t.records}
+        # Doubling nodes should not slow the tiny batch down much.
+        assert by[4] <= by[2] * 1.2
+
+
+class TestFig6b:
+    def test_ip_truncated_and_timed(self):
+        t = fig6b_scheduling_overhead(
+            node_counts=(2,),
+            num_tasks=16,
+            schemes=("ip", "jdp"),
+            ip_task_cap=6,
+            ip_time_limit=5.0,
+        )
+        ip = next(r for r in t.records if r.scheme == "ip")
+        jdp = next(r for r in t.records if r.scheme == "jdp")
+        assert ip.scheduling_ms_per_task > jdp.scheduling_ms_per_task

@@ -1,0 +1,161 @@
+"""Unit tests for the Hypergraph data structure."""
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import Hypergraph
+
+
+@pytest.fixture
+def small():
+    # 4 vertices; nets: {0,1} w=2, {1,2,3} w=3, {0,3} w=5
+    return Hypergraph(
+        4,
+        [[0, 1], [1, 2, 3], [0, 3]],
+        vertex_weights=[1.0, 2.0, 3.0, 4.0],
+        net_weights=[2.0, 3.0, 5.0],
+    )
+
+
+class TestConstruction:
+    def test_counts(self, small):
+        assert small.num_vertices == 4
+        assert small.num_nets == 3
+        assert small.num_pins == 7
+
+    def test_pins_sorted_and_deduped(self):
+        h = Hypergraph(3, [[2, 0, 2, 1]])
+        assert h.pins(0) == (0, 1, 2)
+
+    def test_vertex_net_incidence(self, small):
+        assert small.nets_of(0) == (0, 2)
+        assert small.nets_of(1) == (0, 1)
+        assert small.nets_of(2) == (1,)
+
+    def test_default_weights(self):
+        h = Hypergraph(2, [[0, 1]])
+        assert h.vertex_weights.tolist() == [1.0, 1.0]
+        assert h.net_weights.tolist() == [1.0]
+
+    def test_totals(self, small):
+        assert small.total_vertex_weight == 10.0
+        assert small.total_net_weight == 10.0
+
+    def test_degree(self, small):
+        assert small.degree(3) == 2
+
+    def test_empty_net_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(2, [[]])
+
+    def test_out_of_range_pin_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(2, [[0, 5]])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(2, [[0, 1]], vertex_weights=[1.0, -1.0])
+
+    def test_wrong_weight_length_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(2, [[0, 1]], net_weights=[1.0, 2.0])
+
+    def test_zero_vertices(self):
+        h = Hypergraph(0, [])
+        assert h.num_vertices == 0
+        assert h.num_nets == 0
+
+
+class TestIncidentNetWeight:
+    def test_single_vertex(self, small):
+        assert small.incident_net_weight([0]) == 7.0  # nets 0 and 2
+
+    def test_union_not_double_counted(self, small):
+        # Vertices 0 and 1 share net 0; its weight counts once.
+        assert small.incident_net_weight([0, 1]) == 10.0
+
+    def test_all_vertices(self, small):
+        assert small.incident_net_weight(range(4)) == 10.0
+
+    def test_anchored_weight_added(self):
+        h = Hypergraph(2, [[0, 1]], anchored_weights=[4.0, 0.0])
+        assert h.incident_net_weight([0]) == 5.0
+        assert h.incident_net_weight([1]) == 1.0
+
+    def test_empty_set(self, small):
+        assert small.incident_net_weight([]) == 0.0
+
+
+class TestContract:
+    def test_merges_vertex_weights(self, small):
+        coarse = small.contract([0, 0, 1, 1])
+        assert coarse.num_vertices == 2
+        assert coarse.vertex_weights.tolist() == [3.0, 7.0]
+
+    def test_net_pins_mapped(self, small):
+        coarse = small.contract([0, 0, 1, 1])
+        # net {0,1}->{0} degenerates; {1,2,3}->{0,1}; {0,3}->{0,1}; the two
+        # surviving identical nets merge with summed weight 8.
+        assert coarse.num_nets == 1
+        assert coarse.pins(0) == (0, 1)
+        assert coarse.net_weights.tolist() == [8.0]
+
+    def test_degenerate_net_anchored(self, small):
+        coarse = small.contract([0, 0, 1, 1])
+        assert coarse.anchored_weights.tolist() == [2.0, 0.0]
+
+    def test_incident_weight_preserved_under_contraction(self, small):
+        coarse = small.contract([0, 0, 1, 1])
+        # Cluster {0,1} had incident nets {0,1,2} = 10 in the fine graph.
+        assert coarse.incident_net_weight([0]) == 10.0
+
+    def test_identity_contraction(self, small):
+        coarse = small.contract([0, 1, 2, 3])
+        assert coarse.num_vertices == 4
+        assert coarse.num_nets == 3
+
+    def test_non_contiguous_clusters_rejected(self, small):
+        with pytest.raises(ValueError):
+            small.contract([0, 0, 2, 2])
+
+    def test_wrong_length_rejected(self, small):
+        with pytest.raises(ValueError):
+            small.contract([0, 0])
+
+
+class TestSubHypergraph:
+    def test_restriction(self, small):
+        sub, ids = small.sub_hypergraph([1, 2, 3])
+        assert ids.tolist() == [1, 2, 3]
+        assert sub.num_vertices == 3
+        # net {1,2,3} survives fully; {0,1} -> {1} anchored; {0,3} -> {3} anchored
+        assert sub.num_nets == 1
+        assert sub.pins(0) == (0, 1, 2)
+
+    def test_anchoring_on_split(self, small):
+        sub, ids = small.sub_hypergraph([1, 2, 3])
+        # local vertex 0 is global 1 (net {0,1} w=2 anchored there);
+        # local 2 is global 3 (net {0,3} w=5 anchored there).
+        assert sub.anchored_weights.tolist() == [2.0, 0.0, 5.0]
+
+    def test_weights_carried(self, small):
+        sub, _ = small.sub_hypergraph([1, 3])
+        assert sub.vertex_weights.tolist() == [2.0, 4.0]
+
+    def test_incident_weight_preserved(self, small):
+        # Incident net weight of {1,2} must match the original graph.
+        sub, ids = small.sub_hypergraph([1, 2])
+        assert sub.incident_net_weight(range(2)) == small.incident_net_weight([1, 2])
+
+    def test_duplicate_input_ids_collapsed(self, small):
+        sub, ids = small.sub_hypergraph([1, 1, 2])
+        assert sub.num_vertices == 2
+
+    def test_out_of_range_rejected(self, small):
+        with pytest.raises(ValueError):
+            small.sub_hypergraph([0, 99])
+
+    def test_empty_subset(self, small):
+        sub, ids = small.sub_hypergraph([])
+        assert sub.num_vertices == 0
+        assert len(ids) == 0

@@ -1,0 +1,115 @@
+"""Unit tests for partition quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import (
+    Hypergraph,
+    connectivity_1,
+    cut_weight,
+    imbalance,
+    incident_net_weights,
+    net_connectivity,
+    part_weights,
+    partition_stats,
+    validate_partition,
+)
+
+
+@pytest.fixture
+def h():
+    # Figure-2-like example: 5 tasks, files a..d as nets.
+    return Hypergraph(
+        5,
+        [[0, 1], [1, 2, 3], [3, 4], [0, 4]],
+        vertex_weights=[1, 1, 2, 2, 4],
+        net_weights=[10, 20, 30, 40],
+    )
+
+
+class TestCutAndConnectivity:
+    def test_all_same_part_no_cut(self, h):
+        parts = [0] * 5
+        assert cut_weight(h, parts) == 0.0
+        assert connectivity_1(h, parts) == 0.0
+
+    def test_single_cut_net(self, h):
+        parts = [0, 0, 0, 0, 1]
+        # nets {3,4} and {0,4} are cut
+        assert cut_weight(h, parts) == 70.0
+        assert connectivity_1(h, parts) == 70.0
+
+    def test_connectivity_counts_lambda_minus_one(self, h):
+        parts = [0, 1, 2, 1, 0]
+        # net {1,2,3}: parts {1,2,1} -> lambda=2 -> 20
+        assert net_connectivity(h, parts, 1) == 2
+        # net {0,1}: lambda=2 -> 10; {3,4}: {1,0} -> 30; {0,4}: {0,0} -> 0
+        assert connectivity_1(h, parts) == 60.0
+
+    def test_three_way_net(self):
+        h3 = Hypergraph(3, [[0, 1, 2]], net_weights=[7.0])
+        assert connectivity_1(h3, [0, 1, 2]) == 14.0  # lambda=3
+        assert cut_weight(h3, [0, 1, 2]) == 7.0
+
+    def test_connectivity_at_least_cut(self, h):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            parts = rng.integers(0, 3, size=5)
+            assert connectivity_1(h, parts) >= cut_weight(h, parts)
+
+
+class TestWeightsAndBalance:
+    def test_part_weights(self, h):
+        w = part_weights(h, [0, 0, 1, 1, 1], 2)
+        assert w.tolist() == [2.0, 8.0]
+
+    def test_imbalance_perfect(self, h):
+        w = imbalance(h, [0, 0, 0, 1, 1], 2)  # 4 vs 6 -> max/avg - 1 = 0.2
+        assert w == pytest.approx(0.2)
+
+    def test_imbalance_zero_for_equal(self):
+        h2 = Hypergraph(4, [[0, 1], [2, 3]])
+        assert imbalance(h2, [0, 0, 1, 1], 2) == pytest.approx(0.0)
+
+    def test_num_parts_override(self, h):
+        w = part_weights(h, [0] * 5, num_parts=3)
+        assert w.tolist() == [10.0, 0.0, 0.0]
+
+
+class TestIncidentNetWeights:
+    def test_cut_net_counts_in_both_parts(self, h):
+        parts = [0, 0, 0, 0, 1]
+        inw = incident_net_weights(h, parts, 2)
+        # part 1 = {4}: touches nets {3,4} and {0,4} -> 70
+        assert inw[1] == 70.0
+        # part 0 touches all nets -> 100
+        assert inw[0] == 100.0
+
+    def test_anchored_counted(self):
+        h2 = Hypergraph(2, [[0, 1]], net_weights=[3.0], anchored_weights=[5.0, 0.0])
+        inw = incident_net_weights(h2, [0, 1], 2)
+        assert inw.tolist() == [8.0, 3.0]
+
+    def test_matches_incident_net_weight_method(self, h):
+        parts = np.array([0, 1, 0, 1, 0])
+        inw = incident_net_weights(h, parts, 2)
+        for p in range(2):
+            vs = np.flatnonzero(parts == p)
+            assert inw[p] == pytest.approx(h.incident_net_weight(vs))
+
+
+class TestValidation:
+    def test_wrong_length(self, h):
+        with pytest.raises(ValueError):
+            cut_weight(h, [0, 1])
+
+    def test_negative_part(self, h):
+        with pytest.raises(ValueError):
+            cut_weight(h, [0, 0, 0, 0, -1])
+
+    def test_stats_bundle(self, h):
+        stats = partition_stats(h, [0, 0, 1, 1, 1])
+        assert stats.num_parts == 2
+        assert stats.cut_weight == cut_weight(h, [0, 0, 1, 1, 1])
+        assert stats.connectivity_1 == connectivity_1(h, [0, 0, 1, 1, 1])
+        assert len(stats.incident_net_weights) == 2

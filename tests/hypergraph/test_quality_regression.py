@@ -1,0 +1,116 @@
+"""Partition quality regression tests on structured instances.
+
+Fixed, analysable hypergraphs with known good cuts: the multilevel
+partitioner must land within a constant factor of the optimum on them.
+These guard against silent quality regressions (a partitioner that is
+valid but bad would still pass the structural tests).
+"""
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import (
+    Hypergraph,
+    binw_partition,
+    connectivity_1,
+    cut_weight,
+    incident_net_weights,
+    kway_partition,
+    multilevel_bisect,
+)
+
+
+def grid_hypergraph(rows: int, cols: int) -> Hypergraph:
+    """2D mesh: vertices on a grid, one unit net per adjacent pair.
+
+    Optimal bisection cut of an ``r x c`` grid (c even) is ``r``.
+    """
+    def vid(r, c):
+        return r * cols + c
+
+    nets = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                nets.append([vid(r, c), vid(r, c + 1)])
+            if r + 1 < rows:
+                nets.append([vid(r, c), vid(r + 1, c)])
+    return Hypergraph(rows * cols, nets)
+
+
+def ring_of_cliques(k: int, size: int) -> Hypergraph:
+    """k cliques joined in a ring by unit bridges; optimal k-way cut = k."""
+    nets = []
+    weights = []
+    n = k * size
+    for g in range(k):
+        base = g * size
+        for i in range(base, base + size):
+            for j in range(i + 1, base + size):
+                nets.append([i, j])
+                weights.append(10.0)
+        nets.append([base, ((g + 1) % k) * size])
+        weights.append(1.0)
+    return Hypergraph(n, nets, net_weights=weights)
+
+
+class TestGridBisection:
+    @pytest.mark.parametrize("rows,cols", [(4, 8), (6, 8), (8, 8)])
+    def test_bisection_near_optimal(self, rows, cols):
+        h = grid_hypergraph(rows, cols)
+        best = min(
+            cut_weight(h, multilevel_bisect(h, np.random.default_rng(seed)))
+            for seed in range(3)
+        )
+        # Optimal vertical cut costs `rows`; accept up to 2x.
+        assert best <= 2 * rows
+
+    def test_balance_maintained(self):
+        h = grid_hypergraph(6, 8)
+        parts = multilevel_bisect(h, np.random.default_rng(0), epsilon=0.05)
+        sizes = np.bincount(parts, minlength=2)
+        assert abs(sizes[0] - sizes[1]) <= 0.05 * h.num_vertices + 1
+
+
+class TestRingOfCliques:
+    def test_kway_finds_cliques(self):
+        k, size = 4, 7
+        h = ring_of_cliques(k, size)
+        best = min(
+            connectivity_1(
+                h, kway_partition(h, k, np.random.default_rng(seed), epsilon=0.1)
+            )
+            for seed in range(3)
+        )
+        # Optimal: only the k unit bridges are cut -> cost k.
+        assert best <= 3 * k
+
+    def test_binw_isolates_cliques(self):
+        k, size = 4, 6
+        h = ring_of_cliques(k, size)
+        clique_weight = 10.0 * size * (size - 1) / 2
+        res = binw_partition(
+            h, clique_weight * 1.3, np.random.default_rng(1)
+        )
+        inw = incident_net_weights(h, res.parts, res.num_parts)
+        assert (inw <= clique_weight * 1.3 + 1e-9).all()
+        # Should need roughly one part per clique, not shred them.
+        assert res.num_parts <= 2 * k
+
+
+class TestScaleSanity:
+    def test_large_instance_completes_fast(self):
+        import time
+
+        rng = np.random.default_rng(0)
+        n, m = 2000, 1500
+        nets = [
+            rng.choice(n, size=int(rng.integers(2, 6)), replace=False).tolist()
+            for _ in range(m)
+        ]
+        h = Hypergraph(n, nets)
+        t0 = time.perf_counter()
+        parts = kway_partition(h, 16, rng, epsilon=0.1)
+        elapsed = time.perf_counter() - t0
+        assert len(set(parts.tolist())) == 16
+        assert elapsed < 30.0  # generous CI bound; typically ~1s

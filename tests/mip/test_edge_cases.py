@@ -1,0 +1,112 @@
+"""Edge-case tests for the MIP layer: degenerate models, bounds, statuses."""
+
+import math
+
+import pytest
+
+from repro.mip import (
+    LinExpr,
+    Model,
+    Sense,
+    Status,
+    presolve,
+    solve,
+)
+
+
+class TestDegenerateModels:
+    @pytest.mark.parametrize("backend", ["highs", "branch-bound"])
+    def test_no_constraints(self, backend):
+        m = Model(sense=Sense.MAXIMIZE)
+        x = m.binary_var("x")
+        y = m.integer_var("y", lb=-3, ub=4)
+        m.set_objective(x + y)
+        sol = solve(m, backend)
+        assert sol.objective == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("backend", ["highs", "branch-bound"])
+    def test_zero_objective(self, backend):
+        m = Model()
+        x = m.binary_var("x")
+        m.add_constr(x >= 1)
+        sol = solve(m, backend)
+        assert sol.status is Status.OPTIMAL
+        assert sol.objective == pytest.approx(0.0)
+        assert sol.value(x) == 1
+
+    @pytest.mark.parametrize("backend", ["highs", "branch-bound"])
+    def test_negative_integer_bounds(self, backend):
+        m = Model()
+        x = m.integer_var("x", lb=-10, ub=-2)
+        m.set_objective(x)
+        sol = solve(m, backend)
+        assert sol.objective == pytest.approx(-10.0)
+
+    @pytest.mark.parametrize("backend", ["highs", "branch-bound"])
+    def test_fixed_variable_via_bounds(self, backend):
+        m = Model()
+        x = m.integer_var("x", lb=3, ub=3)
+        y = m.binary_var("y")
+        m.add_constr(y <= x - 3 + 1)  # y <= 1, trivially
+        m.set_objective(x - y, sense=Sense.MINIMIZE)
+        sol = solve(m, backend)
+        assert sol.value(x) == 3
+
+    @pytest.mark.parametrize("backend", ["highs", "branch-bound"])
+    def test_mixed_integer_continuous(self, backend):
+        m = Model(sense=Sense.MAXIMIZE)
+        x = m.integer_var("x", lb=0, ub=10)
+        y = m.continuous_var("y", lb=0, ub=10)
+        m.add_constr(x + y <= 7.5)
+        m.set_objective(2 * x + y)
+        sol = solve(m, backend)
+        # x = 7 (integer), y = 0.5.
+        assert sol.value(x) == 7
+        assert sol.value(y, integral=False) == pytest.approx(0.5)
+        assert sol.objective == pytest.approx(14.5)
+
+
+class TestLinExprEdges:
+    def test_empty_expression_value(self):
+        assert LinExpr().value([]) == 0.0
+
+    def test_chained_operations(self):
+        m = Model()
+        x = m.binary_var("x")
+        y = m.binary_var("y")
+        e = -(2 * x - y) + 1 - y
+        assert e.coeffs == {0: -2.0, 1: 0.0}
+        assert e.constant == 1.0
+
+    def test_zero_coefficient_kept_harmless(self):
+        m = Model()
+        x = m.binary_var("x")
+        e = x - x
+        assert e.value([1.0]) == 0.0
+
+
+class TestPresolveEdges:
+    def test_unconstrained_model_untouched(self):
+        m = Model()
+        m.binary_var("x")
+        res = presolve(m)
+        assert not res.infeasible
+        assert res.model.num_constrs == 0
+        assert res.removed_rows == 0
+
+    def test_objective_constant_survives(self):
+        m = Model()
+        x = m.binary_var("x")
+        m.add_constr(x <= 0)
+        m.set_objective(x + 42.0)
+        res = presolve(m)
+        sol = solve(res.model, "highs")
+        assert sol.objective == pytest.approx(42.0)
+
+    def test_infinite_bound_rows(self):
+        m = Model()
+        x = m.continuous_var("x", lb=0, ub=math.inf)
+        m.add_constr(x >= 5)
+        res = presolve(m)
+        assert not res.infeasible
+        assert res.model.variables[0].lb == pytest.approx(5.0)

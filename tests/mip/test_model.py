@@ -1,0 +1,249 @@
+"""Unit tests for the MILP modeling DSL."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mip import (
+    Constraint,
+    LinExpr,
+    Model,
+    ModelError,
+    Sense,
+    VarType,
+)
+
+
+class TestVarCreation:
+    def test_binary_var_bounds(self):
+        m = Model()
+        x = m.binary_var("x")
+        assert x.vtype is VarType.BINARY
+        assert (x.lb, x.ub) == (0.0, 1.0)
+
+    def test_integer_var_bounds(self):
+        m = Model()
+        x = m.integer_var("x", lb=2, ub=7)
+        assert x.vtype is VarType.INTEGER
+        assert (x.lb, x.ub) == (2.0, 7.0)
+
+    def test_continuous_default_bounds(self):
+        m = Model()
+        x = m.continuous_var("x")
+        assert x.lb == 0.0
+        assert x.ub == math.inf
+
+    def test_indices_are_sequential(self):
+        m = Model()
+        vars_ = [m.binary_var(f"v{i}") for i in range(5)]
+        assert [v.index for v in vars_] == list(range(5))
+
+    def test_duplicate_name_rejected(self):
+        m = Model()
+        m.binary_var("x")
+        with pytest.raises(ModelError):
+            m.binary_var("x")
+
+    def test_auto_names_unique(self):
+        m = Model()
+        a = m.binary_var()
+        b = m.binary_var()
+        assert a.name != b.name
+
+    def test_bad_bounds_rejected(self):
+        m = Model()
+        with pytest.raises(ModelError):
+            m.continuous_var("x", lb=3, ub=1)
+
+    def test_binary_var_dict(self):
+        m = Model()
+        d = m.binary_var_dict(["a", "b"], "T")
+        assert set(d) == {"a", "b"}
+        assert d["a"].name == "T[a]"
+
+
+class TestLinExpr:
+    def setup_method(self):
+        self.m = Model()
+        self.x = self.m.binary_var("x")
+        self.y = self.m.binary_var("y")
+
+    def test_add_vars(self):
+        e = self.x + self.y
+        assert e.coeffs == {0: 1.0, 1: 1.0}
+
+    def test_add_constant(self):
+        e = self.x + 3
+        assert e.constant == 3.0
+
+    def test_radd(self):
+        e = 3 + self.x
+        assert e.constant == 3.0
+        assert e.coeffs == {0: 1.0}
+
+    def test_sub(self):
+        e = self.x - self.y
+        assert e.coeffs == {0: 1.0, 1: -1.0}
+
+    def test_rsub(self):
+        e = 5 - self.x
+        assert e.constant == 5.0
+        assert e.coeffs == {0: -1.0}
+
+    def test_scalar_mult(self):
+        e = 2 * self.x + self.y * 3
+        assert e.coeffs == {0: 2.0, 1: 3.0}
+
+    def test_negation(self):
+        e = -self.x
+        assert e.coeffs == {0: -1.0}
+
+    def test_combined_terms(self):
+        e = self.x + self.x
+        assert e.coeffs == {0: 2.0}
+
+    def test_from_terms(self):
+        e = LinExpr.from_terms([(self.x, 2.0), (self.y, 1.0), (self.x, 3.0)], 4.0)
+        assert e.coeffs == {0: 5.0, 1: 1.0}
+        assert e.constant == 4.0
+
+    def test_add_term_inplace(self):
+        e = LinExpr()
+        e.add_term(self.x, 1.5).add_term(self.x, 0.5)
+        assert e.coeffs == {0: 2.0}
+
+    def test_value(self):
+        e = 2 * self.x + 3 * self.y + 1
+        assert e.value([1.0, 1.0]) == 6.0
+        assert e.value([0.0, 1.0]) == 4.0
+
+    def test_numpy_scalars_accepted(self):
+        e = np.float64(2.0) * self.x + np.int64(3)
+        assert e.coeffs == {0: 2.0}
+        assert e.constant == 3.0
+
+    def test_vector_mult_rejected(self):
+        with pytest.raises(TypeError):
+            self.x * self.y  # bilinear terms are not supported
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(TypeError):
+            self.x + "nope"
+
+
+class TestConstraints:
+    def setup_method(self):
+        self.m = Model()
+        self.x = self.m.binary_var("x")
+        self.y = self.m.binary_var("y")
+
+    def test_le_constraint(self):
+        c = self.m.add_constr(self.x + self.y <= 1)
+        assert c.ub == 1.0
+        assert c.lb == -math.inf
+
+    def test_ge_constraint(self):
+        c = self.m.add_constr(self.x + self.y >= 1)
+        assert c.lb == 1.0
+        assert c.ub == math.inf
+
+    def test_eq_constraint(self):
+        c = self.m.add_constr(self.x + self.y == 1)
+        assert (c.lb, c.ub) == (1.0, 1.0)
+
+    def test_constant_folded_into_bounds(self):
+        c = self.m.add_constr(self.x + 2 <= 5)
+        assert c.ub == 3.0
+        assert c.expr.constant == 0.0
+
+    def test_constraint_naming(self):
+        c = self.m.add_constr(self.x <= 1, name="cap")
+        assert c.name == "cap"
+
+    def test_default_names_assigned(self):
+        c0 = self.m.add_constr(self.x <= 1)
+        c1 = self.m.add_constr(self.y <= 1)
+        assert c0.name != c1.name
+
+    def test_non_constraint_rejected(self):
+        with pytest.raises(ModelError):
+            self.m.add_constr(self.x + self.y)  # type: ignore[arg-type]
+
+    def test_violation(self):
+        c = Constraint(self.x + self.y, 0.0, 1.0)
+        assert c.violation([1.0, 1.0]) == 1.0
+        assert c.violation([1.0, 0.0]) == 0.0
+
+    def test_var_le_var(self):
+        c = self.m.add_constr(self.x <= self.y)
+        assert c.expr.coeffs == {0: 1.0, 1: -1.0}
+
+
+class TestStandardForm:
+    def test_minimize_passthrough(self):
+        m = Model(sense=Sense.MINIMIZE)
+        x = m.binary_var("x")
+        m.set_objective(3 * x + 1)
+        sf = m.to_standard_form()
+        assert sf.c[0] == 3.0
+        assert sf.objective_constant == 1.0
+        assert sf.sense_mult == 1.0
+
+    def test_maximize_negates(self):
+        m = Model(sense=Sense.MAXIMIZE)
+        x = m.binary_var("x")
+        m.set_objective(3 * x)
+        sf = m.to_standard_form()
+        assert sf.c[0] == -3.0
+        assert sf.sense_mult == -1.0
+
+    def test_integrality_flags(self):
+        m = Model()
+        m.binary_var("b")
+        m.continuous_var("c")
+        m.integer_var("i")
+        sf = m.to_standard_form()
+        assert sf.integrality.tolist() == [1, 0, 1]
+
+    def test_dense_matrix(self):
+        m = Model()
+        x = m.binary_var("x")
+        y = m.binary_var("y")
+        m.add_constr(2 * x + 3 * y <= 6)
+        a = m.to_standard_form().dense_matrix()
+        assert a.tolist() == [[2.0, 3.0]]
+
+    def test_row_bounds(self):
+        m = Model()
+        x = m.binary_var("x")
+        m.add_constr(x >= 0.5)
+        sf = m.to_standard_form()
+        assert sf.row_lb[0] == 0.5
+        assert sf.row_ub[0] == math.inf
+
+
+class TestIsFeasible:
+    def test_feasible_assignment(self):
+        m = Model()
+        x = m.binary_var("x")
+        y = m.binary_var("y")
+        m.add_constr(x + y <= 1)
+        assert m.is_feasible([1.0, 0.0])
+        assert not m.is_feasible([1.0, 1.0])
+
+    def test_fractional_binary_infeasible(self):
+        m = Model()
+        m.binary_var("x")
+        assert not m.is_feasible([0.5])
+
+    def test_bound_violation_detected(self):
+        m = Model()
+        m.integer_var("x", lb=0, ub=3)
+        assert not m.is_feasible([4.0])
+
+    def test_sense_change_via_set_objective(self):
+        m = Model(sense=Sense.MINIMIZE)
+        x = m.binary_var("x")
+        m.set_objective(x, sense=Sense.MAXIMIZE)
+        assert m.sense is Sense.MAXIMIZE

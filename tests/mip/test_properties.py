@@ -1,0 +1,106 @@
+"""Property-based cross-checks of the two MILP backends.
+
+The branch-and-bound solver is built from scratch; HiGHS is an independent
+industrial solver. On random models they must agree on feasibility and on
+the optimal objective value — a strong correctness oracle for both the
+modeling layer's lowering and the B&B search.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mip import Model, Sense, Status, solve
+
+
+@st.composite
+def random_model(draw):
+    """A small random 0-1 model with knapsack/cover style constraints."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    sense = draw(st.sampled_from([Sense.MINIMIZE, Sense.MAXIMIZE]))
+    m = Model("random", sense)
+    xs = [m.binary_var(f"x{i}") for i in range(n)]
+    coeffs = draw(
+        st.lists(
+            st.integers(min_value=-5, max_value=5), min_size=n, max_size=n
+        )
+    )
+    n_constrs = draw(st.integers(min_value=0, max_value=4))
+    for _ in range(n_constrs):
+        row = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=4), min_size=n, max_size=n
+            )
+        )
+        bound = draw(st.integers(min_value=0, max_value=10))
+        kind = draw(st.sampled_from(["le", "ge"]))
+        expr = sum(c * x for c, x in zip(row, xs))
+        m.add_constr(expr <= bound if kind == "le" else expr >= bound)
+    m.set_objective(sum(c * x for c, x in zip(coeffs, xs)))
+    return m
+
+
+def brute_force(m: Model):
+    """Enumerate all 0-1 assignments; returns (best_objective, feasible?)."""
+    n = m.num_vars
+    best = None
+    for mask in range(2**n):
+        assignment = [(mask >> i) & 1 for i in range(n)]
+        if not m.is_feasible(assignment):
+            continue
+        val = m.objective.value(assignment)
+        if best is None:
+            best = val
+        elif m.sense is Sense.MAXIMIZE:
+            best = max(best, val)
+        else:
+            best = min(best, val)
+    return best
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_model())
+def test_backends_agree_with_brute_force(m):
+    expected = brute_force(m)
+    for backend in ("highs", "branch-bound"):
+        sol = solve(m, backend)
+        if expected is None:
+            assert sol.status is Status.INFEASIBLE, backend
+        else:
+            assert sol.status is Status.OPTIMAL, backend
+            assert sol.objective == pytest.approx(expected, abs=1e-6), backend
+            assert m.is_feasible(sol.values)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_model())
+def test_solution_values_are_binary(m):
+    sol = solve(m, "branch-bound")
+    if sol.status.has_solution:
+        for v in sol.values:
+            assert abs(v - round(v)) < 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=9), min_size=2, max_size=8),
+    st.integers(min_value=1, max_value=30),
+)
+def test_knapsack_never_exceeds_capacity(weights, capacity):
+    m = Model(sense=Sense.MAXIMIZE)
+    xs = [m.binary_var(f"x{i}") for i in range(len(weights))]
+    m.add_constr(sum(w * x for w, x in zip(weights, xs)) <= capacity)
+    m.set_objective(sum(xs))
+    sol = solve(m, "branch-bound")
+    assert sol.status is Status.OPTIMAL
+    used = sum(w * sol.value(x) for w, x in zip(weights, xs))
+    assert used <= capacity + 1e-9
+    # Greedy lower bound: the solver must pack at least as many items as
+    # taking the lightest items first.
+    greedy, acc = 0, 0
+    for w in sorted(weights):
+        if acc + w > capacity:
+            break
+        acc += w
+        greedy += 1
+    assert sol.objective >= greedy - 1e-9

@@ -1,0 +1,191 @@
+"""Solver backend tests: HiGHS and the from-scratch branch and bound.
+
+Every test in ``TestBothBackends`` runs against both solvers, which doubles
+as a cross-check of the branch-and-bound implementation against HiGHS.
+"""
+
+import math
+
+import pytest
+
+from repro.mip import (
+    InfeasibleError,
+    Model,
+    Sense,
+    SolverError,
+    Status,
+    UnboundedError,
+    get_solver,
+    solve,
+)
+
+BACKENDS = ("highs", "branch-bound")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+class TestBothBackends:
+    def test_trivial_lp(self, backend):
+        m = Model()
+        x = m.continuous_var("x", lb=0, ub=10)
+        m.set_objective(-1 * x)  # maximize x by minimizing -x
+        sol = solve(m, backend)
+        assert sol.status is Status.OPTIMAL
+        assert sol.value(x, integral=False) == pytest.approx(10.0)
+
+    def test_knapsack(self, backend):
+        m = Model(sense=Sense.MAXIMIZE)
+        x = [m.binary_var(f"x{i}") for i in range(4)]
+        weights, values = [2, 3, 4, 5], [3, 4, 5, 8]
+        m.add_constr(
+            sum(w * xi for w, xi in zip(weights, x)) <= 6
+        )
+        m.set_objective(sum(v * xi for v, xi in zip(values, x)))
+        sol = solve(m, backend)
+        assert sol.status is Status.OPTIMAL
+        # Optimum 8: either items {0, 2} (w=6, v=8) or item {3} (w=5, v=8).
+        assert sol.objective == pytest.approx(8.0)
+        assert m.is_feasible(sol.values)
+
+    def test_assignment_problem(self, backend):
+        # 3x3 assignment with known optimum.
+        cost = [[4, 1, 3], [2, 0, 5], [3, 2, 2]]
+        m = Model()
+        x = {(i, j): m.binary_var(f"x{i}{j}") for i in range(3) for j in range(3)}
+        for i in range(3):
+            m.add_constr(sum(x[(i, j)] for j in range(3)) == 1)
+        for j in range(3):
+            m.add_constr(sum(x[(i, j)] for i in range(3)) == 1)
+        m.set_objective(
+            sum(cost[i][j] * x[(i, j)] for i in range(3) for j in range(3))
+        )
+        sol = solve(m, backend)
+        assert sol.status is Status.OPTIMAL
+        assert sol.objective == pytest.approx(5.0)  # 1 + 2 + 2
+
+    def test_infeasible_model(self, backend):
+        m = Model()
+        x = m.binary_var("x")
+        m.add_constr(x >= 1)
+        m.add_constr(x <= 0)
+        sol = solve(m, backend)
+        assert sol.status is Status.INFEASIBLE
+        with pytest.raises(InfeasibleError):
+            sol.require_solution()
+
+    def test_integrality_forces_worse_objective(self, backend):
+        # LP optimum is fractional; MILP must settle for the integer one.
+        m = Model(sense=Sense.MAXIMIZE)
+        x = m.integer_var("x", lb=0, ub=10)
+        y = m.integer_var("y", lb=0, ub=10)
+        m.add_constr(2 * x + 2 * y <= 7)
+        m.set_objective(x + y)
+        sol = solve(m, backend)
+        assert sol.objective == pytest.approx(3.0)  # LP would give 3.5
+
+    def test_equality_constraints(self, backend):
+        m = Model()
+        x = m.integer_var("x", lb=0, ub=100)
+        y = m.integer_var("y", lb=0, ub=100)
+        m.add_constr(x + y == 10)
+        m.add_constr(x - y == 4)
+        m.set_objective(x + y)
+        sol = solve(m, backend)
+        assert sol.value(x) == 7
+        assert sol.value(y) == 3
+
+    def test_empty_model(self, backend):
+        m = Model()
+        sol = solve(m, backend)
+        assert sol.status is Status.OPTIMAL
+        assert sol.objective == 0.0
+
+    def test_objective_constant_included(self, backend):
+        m = Model()
+        x = m.binary_var("x")
+        m.add_constr(x >= 1)
+        m.set_objective(2 * x + 5)
+        sol = solve(m, backend)
+        assert sol.objective == pytest.approx(7.0)
+
+    def test_maximization_objective_sign(self, backend):
+        m = Model(sense=Sense.MAXIMIZE)
+        x = m.binary_var("x")
+        m.set_objective(4 * x)
+        sol = solve(m, backend)
+        assert sol.objective == pytest.approx(4.0)
+
+    def test_solution_check_helper(self, backend):
+        m = Model(sense=Sense.MAXIMIZE)
+        x = m.binary_var("x")
+        m.set_objective(x)
+        sol = solve(m, backend)
+        assert sol.check(m)
+
+    def test_makespan_structure(self, backend):
+        # Mini version of the paper's objective: minimize max load of 2 nodes.
+        m = Model()
+        t = {(k, i): m.binary_var(f"t{k}{i}") for k in range(4) for i in range(2)}
+        span = m.continuous_var("span")
+        durations = [3.0, 3.0, 2.0, 2.0]
+        for k in range(4):
+            m.add_constr(t[(k, 0)] + t[(k, 1)] == 1)
+        for i in range(2):
+            m.add_constr(
+                sum(durations[k] * t[(k, i)] for k in range(4)) <= span
+            )
+        m.set_objective(span)
+        sol = solve(m, backend)
+        assert sol.objective == pytest.approx(5.0)
+
+
+class TestBackendSpecific:
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(SolverError):
+            get_solver("simplex9000")
+
+    def test_bb_node_limit_reports_feasible_or_error(self):
+        m = Model(sense=Sense.MAXIMIZE)
+        x = [m.binary_var(f"x{i}") for i in range(12)]
+        m.add_constr(sum((i + 1) * x[i] for i in range(12)) <= 20)
+        m.set_objective(sum((i % 5 + 1) * x[i] for i in range(12)))
+        sol = solve(m, "branch-bound", node_limit=1)
+        assert sol.status in (Status.FEASIBLE, Status.ERROR, Status.OPTIMAL)
+
+    def test_bb_reports_nodes(self):
+        m = Model(sense=Sense.MAXIMIZE)
+        x = [m.binary_var(f"x{i}") for i in range(6)]
+        m.add_constr(sum(2 * xi for xi in x) <= 5)
+        m.set_objective(sum(x))
+        sol = solve(m, "branch-bound")
+        assert sol.nodes_explored >= 1
+        assert sol.objective == pytest.approx(2.0)
+
+    def test_highs_time_limit_still_solves_small(self):
+        m = Model()
+        x = m.binary_var("x")
+        m.add_constr(x >= 1)
+        m.set_objective(x)
+        sol = solve(m, "highs", time_limit=10.0)
+        assert sol.status is Status.OPTIMAL
+
+    def test_value_requires_solution(self):
+        m = Model()
+        x = m.binary_var("x")
+        m.add_constr(x >= 1)
+        m.add_constr(x <= 0)
+        sol = solve(m, "highs")
+        with pytest.raises(SolverError):
+            sol.value(x)
+
+    def test_unbounded_lp_detected(self):
+        m = Model(sense=Sense.MAXIMIZE)
+        x = m.continuous_var("x", lb=0, ub=math.inf)
+        m.set_objective(x)
+        sol = solve(m, "branch-bound")
+        assert sol.status is Status.UNBOUNDED
+        with pytest.raises(UnboundedError):
+            sol.require_solution()

@@ -1,0 +1,31 @@
+"""Run the doctests embedded in package docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.mip
+import repro.hypergraph
+
+
+@pytest.mark.parametrize(
+    "module", [repro.mip, repro.hypergraph], ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    failures, tests = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    ).failed, doctest.testmod(module).attempted
+    assert tests > 0, f"{module.__name__} has no doctests"
+    assert failures == 0
+
+
+def test_package_quickstart_docstring_runs():
+    """The usage example in the top-level package docstring must work."""
+    from repro import run_batch, osc_xio
+    from repro.workloads import generate_image_batch
+
+    platform = osc_xio(num_compute=4, num_storage=4)
+    batch = generate_image_batch(8, "high", platform.num_storage, seed=0)
+    result = run_batch(batch, platform, "bipartition")
+    assert "bipartition" in result.summary()

@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs and prints sensible output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # deliverable: at least three runnable examples
+
+
+@pytest.mark.slow
+def test_quickstart():
+    out = run_example("quickstart.py")
+    for scheme in ("ip", "bipartition", "minmin", "jdp"):
+        assert scheme in out
+    assert "Batch(" in out
+
+
+def test_sat_hotspot_study_reduced():
+    out = run_example("sat_hotspot_study.py", "--tasks", "16")
+    assert "XIO" in out
+    assert "OSUMED" in out
+    assert "high" in out and "low" in out
+
+
+def test_image_disk_pressure_reduced():
+    out = run_example(
+        "image_disk_pressure.py", "--sizes", "40", "80", "--disk-gb", "2"
+    )
+    assert "bipartition" in out
+    assert "tasks" in out
+
+
+def test_plan_deepdive():
+    out = run_example("plan_deepdive.py")
+    assert "plan valid: True" in out
+    assert "x=transfer" in out
+    assert "BiPartition" in out
+
+
+def test_custom_scheduler():
+    out = run_example("custom_scheduler.py")
+    assert "roundrobin" in out
+    # The data-aware scheme must finish no later than blind round-robin.
+    rows = {
+        parts[0]: parts
+        for parts in (l.split() for l in out.splitlines())
+        if parts and parts[0] in ("roundrobin", "bipartition")
+    }
+    rr_makespan = float(rows["roundrobin"][1].rstrip("s"))
+    bp_makespan = float(rows["bipartition"][1].rstrip("s"))
+    assert bp_makespan <= rr_makespan * 1.02

@@ -1,0 +1,92 @@
+"""Tests for the Hilbert curve and declustering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import (
+    decluster,
+    hilbert_d2xy,
+    hilbert_order_for,
+    hilbert_xy2d,
+)
+
+
+class TestCurve:
+    def test_order1_layout(self):
+        # Order-1 curve visits (0,0) (0,1) (1,1) (1,0).
+        coords = [hilbert_d2xy(1, d) for d in range(4)]
+        assert coords == [(0, 0), (0, 1), (1, 1), (1, 0)]
+
+    def test_roundtrip_order3(self):
+        for d in range(64):
+            x, y = hilbert_d2xy(3, d)
+            assert hilbert_xy2d(3, x, y) == d
+
+    def test_bijection_order4(self):
+        seen = set()
+        for d in range(256):
+            seen.add(hilbert_d2xy(4, d))
+        assert len(seen) == 256
+
+    def test_adjacent_distances_are_neighbours(self):
+        # Consecutive curve positions differ by exactly one grid step.
+        for d in range(255):
+            x0, y0 = hilbert_d2xy(4, d)
+            x1, y1 = hilbert_d2xy(4, d + 1)
+            assert abs(x0 - x1) + abs(y0 - y1) == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_xy2d(2, 4, 0)
+        with pytest.raises(ValueError):
+            hilbert_d2xy(2, 16)
+
+    def test_order_for(self):
+        assert hilbert_order_for(1, 1) == 0
+        assert hilbert_order_for(2, 2) == 1
+        assert hilbert_order_for(10, 5) == 4
+        assert hilbert_order_for(16, 16) == 4
+        assert hilbert_order_for(17, 3) == 5
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 6), st.data())
+def test_roundtrip_property(order, data):
+    n = 1 << order
+    x = data.draw(st.integers(0, n - 1))
+    y = data.draw(st.integers(0, n - 1))
+    d = hilbert_xy2d(order, x, y)
+    assert hilbert_d2xy(order, d) == (x, y)
+
+
+class TestDecluster:
+    def test_assigns_all_cells(self):
+        cells = [(x, y) for x in range(10) for y in range(5)]
+        m = decluster(cells, 4)
+        assert set(m) == set(cells)
+        assert set(m.values()) <= {0, 1, 2, 3}
+
+    def test_balanced_assignment(self):
+        cells = [(x, y) for x in range(8) for y in range(8)]
+        m = decluster(cells, 4)
+        counts = np.bincount(list(m.values()), minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    def test_spatial_window_spreads_across_nodes(self):
+        # A 2x2 window should rarely hit a single storage node.
+        cells = [(x, y) for x in range(16) for y in range(16)]
+        m = decluster(cells, 4)
+        hits = {m[(x, y)] for x in range(4, 6) for y in range(4, 6)}
+        assert len(hits) >= 2
+
+    def test_single_storage(self):
+        m = decluster([(0, 0), (1, 1)], 1)
+        assert set(m.values()) == {0}
+
+    def test_empty(self):
+        assert decluster([], 3) == {}
+
+    def test_invalid_storage_count(self):
+        with pytest.raises(ValueError):
+            decluster([(0, 0)], 0)

@@ -1,0 +1,125 @@
+"""Tests for the IMAGE (biomedical imaging) workload emulator."""
+
+import numpy as np
+import pytest
+
+from repro.batch import overlap_fraction
+from repro.workloads import (
+    IMAGE_PRESETS,
+    affinity_group_of,
+    generate_image_batch,
+    image_groups,
+    within_group_overlap,
+)
+from repro.workloads.image import (
+    CT_MB,
+    CT_WINDOW,
+    MRI_MB,
+    MRI_PER_STUDY,
+    NUM_PATIENTS,
+    STUDIES_PER_PATIENT,
+)
+
+
+class TestGeneration:
+    def test_task_count(self):
+        b = generate_image_batch(50, "high", 4, seed=0)
+        assert len(b) == 50
+
+    def test_ct_and_mri_tasks(self):
+        b = generate_image_batch(100, "high", 4, seed=0, ct_fraction=0.5)
+        ct = [t for t in b.tasks if "ct" in t.files[0]]
+        mri = [t for t in b.tasks if "mri" in t.files[0]]
+        assert len(ct) + len(mri) == 100
+        assert 20 <= len(ct) <= 80  # roughly half each
+        for t in ct:
+            assert len(t.files) == CT_WINDOW
+        for t in mri:
+            assert len(t.files) == MRI_PER_STUDY
+
+    def test_file_sizes(self):
+        b = generate_image_batch(50, "high", 4, seed=0)
+        for f in b.files.values():
+            assert f.size_mb in (CT_MB, MRI_MB)
+
+    def test_dataset_totals_match_paper(self):
+        # 2 GB per patient, 2 TB total.
+        per_patient = STUDIES_PER_PATIENT * (CT_MB + MRI_PER_STUDY * MRI_MB)
+        assert per_patient == pytest.approx(2000.0)
+        assert NUM_PATIENTS * per_patient == pytest.approx(2_000_000.0)
+
+    def test_round_robin_storage(self):
+        b = generate_image_batch(100, "medium", 4, seed=0)
+        nodes = {f.storage_node for f in b.files.values()}
+        assert nodes == {0, 1, 2, 3}
+
+    def test_ct_only_tasks(self):
+        b = generate_image_batch(20, "high", 4, seed=0, ct_fraction=1.0)
+        for t in b.tasks:
+            assert all("ct" in f for f in t.files)
+            assert b.task_input_mb(t) == pytest.approx(CT_WINDOW * CT_MB)
+
+    def test_compute_time_proportional(self):
+        b = generate_image_batch(20, "high", 4, seed=0)
+        for t in b.tasks:
+            assert t.compute_time == pytest.approx(b.task_input_mb(t) * 0.001)
+
+    def test_determinism(self):
+        b1 = generate_image_batch(30, "medium", 4, seed=3)
+        b2 = generate_image_batch(30, "medium", 4, seed=3)
+        assert [t.files for t in b1.tasks] == [t.files for t in b2.tasks]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_image_batch(10, "nope", 4)
+        with pytest.raises(ValueError):
+            generate_image_batch(0, "high", 4)
+        with pytest.raises(ValueError):
+            generate_image_batch(NUM_PATIENTS + 1, "zero", 4)
+
+    def test_low_is_zero_alias(self):
+        assert IMAGE_PRESETS["low"] is IMAGE_PRESETS["zero"]
+
+
+class TestOverlapStructure:
+    def test_zero_overlap_is_disjoint(self):
+        b = generate_image_batch(100, "zero", 4, seed=0)
+        assert overlap_fraction(b) == 0.0
+
+    def test_affinity_group_parsing(self):
+        b = generate_image_batch(20, "high", 4, seed=0)
+        for t in b.tasks:
+            patient, modality = affinity_group_of(b, t.task_id)
+            assert patient.startswith("p")
+            assert modality in ("ct", "mri")
+
+    @pytest.mark.parametrize(
+        "level,target,tolerance",
+        [("high", 0.85, 0.10), ("medium", 0.40, 0.12)],
+    )
+    def test_within_group_overlap(self, level, target, tolerance):
+        vals = []
+        for seed in range(5):
+            b = generate_image_batch(100, level, 4, seed=seed)
+            vals.append(within_group_overlap(b, image_groups(b)))
+        assert np.mean(vals) == pytest.approx(target, abs=tolerance)
+
+    def test_levels_ordered(self):
+        vals = []
+        for lvl in ("high", "medium", "zero"):
+            b = generate_image_batch(100, lvl, 4, seed=0)
+            vals.append(within_group_overlap(b, image_groups(b)))
+        assert vals[0] > vals[1] > vals[2] == 0.0
+
+    def test_fig5b_footprints(self):
+        """Aggregate data requirements match the paper's Fig. 5(b) setup:
+        ~40 GB at 500 tasks growing to ~330 GB at 4000 tasks."""
+        b500 = generate_image_batch(500, "high", 4, seed=1)
+        b4000 = generate_image_batch(4000, "high", 4, seed=1)
+        assert 25_000 <= b500.distinct_file_mb <= 60_000
+        assert 200_000 <= b4000.distinct_file_mb <= 400_000
+
+    def test_hot_pool_scales_with_tasks(self):
+        small = generate_image_batch(100, "high", 4, seed=0)
+        large = generate_image_batch(400, "high", 4, seed=0)
+        assert large.distinct_file_mb > small.distinct_file_mb

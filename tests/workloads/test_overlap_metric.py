@@ -1,0 +1,72 @@
+"""Property tests of the overlap metrics and generator invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.batch import overlap_fraction, pairwise_overlap
+from repro.workloads import (
+    generate_image_batch,
+    generate_sat_batch,
+    image_groups,
+    sat_groups,
+    within_group_overlap,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.sampled_from(["high", "medium", "low"]),
+    st.integers(4, 60),
+    st.integers(1, 6),
+    st.integers(0, 1000),
+)
+def test_sat_batches_always_valid(level, n_tasks, n_storage, seed):
+    b = generate_sat_batch(n_tasks, level, n_storage, seed=seed)
+    assert len(b) == n_tasks
+    for t in b.tasks:
+        assert t.compute_time > 0
+        for f in t.files:
+            assert 0 <= b.file(f).storage_node < n_storage
+    assert 0.0 <= overlap_fraction(b) < 1.0
+    assert 0.0 <= within_group_overlap(b, sat_groups(b)) <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.sampled_from(["high", "medium", "zero"]),
+    st.integers(4, 60),
+    st.integers(1, 6),
+    st.integers(0, 1000),
+)
+def test_image_batches_always_valid(level, n_tasks, n_storage, seed):
+    b = generate_image_batch(n_tasks, level, n_storage, seed=seed)
+    assert len(b) == n_tasks
+    for t in b.tasks:
+        assert len(t.files) in (8, 9)  # CT window or MRI series
+    assert 0.0 <= within_group_overlap(b, image_groups(b)) <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(4, 40), st.integers(0, 500))
+def test_metrics_bounded(n_tasks, seed):
+    b = generate_sat_batch(n_tasks, "medium", 4, seed=seed)
+    pw = pairwise_overlap(b)
+    of = overlap_fraction(b)
+    assert 0.0 <= pw <= 1.0
+    assert 0.0 <= of < 1.0
+
+
+def test_pairwise_sampling_close_to_exact():
+    b = generate_sat_batch(60, "high", 4, seed=0)
+    exact = pairwise_overlap(b)
+    sampled = pairwise_overlap(b, sample_pairs=600, seed=1)
+    assert sampled == pytest.approx(exact, abs=0.12)
+
+
+def test_within_group_never_below_global_for_sat():
+    """Within-set overlap is at least the all-pairs overlap: cross-set
+    pairs contribute zero by construction."""
+    for seed in range(3):
+        b = generate_sat_batch(40, "high", 4, seed=seed)
+        assert within_group_overlap(b, sat_groups(b)) >= pairwise_overlap(b) - 1e-9

@@ -1,0 +1,149 @@
+"""Tests for the SAT (satellite data) workload emulator."""
+
+import numpy as np
+import pytest
+
+from repro.batch import overlap_fraction
+from repro.workloads import (
+    SAT_PRESETS,
+    generate_sat_batch,
+    hotspot_of,
+    sat_groups,
+    within_group_overlap,
+)
+from repro.workloads.sat import FILE_MB, GRID_X, GRID_Y, NUM_DAYS, SatConfig
+
+
+class TestGeneration:
+    def test_task_count(self):
+        b = generate_sat_batch(50, "high", 4, seed=0)
+        assert len(b) == 50
+
+    def test_files_per_task_high(self):
+        b = generate_sat_batch(40, "high", 4, seed=0)
+        for t in b.tasks:
+            assert len(t.files) == 8  # paper: 8 files/task for high overlap
+
+    def test_files_per_task_medium_low(self):
+        for lvl in ("medium", "low"):
+            b = generate_sat_batch(40, lvl, 4, seed=0)
+            for t in b.tasks:
+                assert len(t.files) == 14  # paper: 14 files/task
+
+    def test_file_size_is_50mb(self):
+        b = generate_sat_batch(20, "high", 4, seed=0)
+        for f in b.files.values():
+            assert f.size_mb == FILE_MB
+
+    def test_dataset_bounds(self):
+        b = generate_sat_batch(100, "low", 4, seed=0)
+        # All files within the 10 x 5 x 20 grid (max 1000 distinct files).
+        assert len(b.referenced_files()) <= GRID_X * GRID_Y * NUM_DAYS
+
+    def test_compute_time_proportional_to_volume(self):
+        b = generate_sat_batch(10, "high", 4, seed=0)
+        for t in b.tasks:
+            assert t.compute_time == pytest.approx(b.task_input_mb(t) * 0.001)
+
+    def test_storage_nodes_in_range(self):
+        b = generate_sat_batch(50, "medium", 4, seed=0)
+        for f in b.files.values():
+            assert 0 <= f.storage_node < 4
+
+    def test_storage_spread(self):
+        # Hilbert declustering must spread files across all storage nodes.
+        b = generate_sat_batch(100, "low", 4, seed=0)
+        nodes = {f.storage_node for f in b.files.values()}
+        assert nodes == {0, 1, 2, 3}
+
+    def test_determinism(self):
+        b1 = generate_sat_batch(30, "high", 4, seed=7)
+        b2 = generate_sat_batch(30, "high", 4, seed=7)
+        assert [t.files for t in b1.tasks] == [t.files for t in b2.tasks]
+
+    def test_seed_changes_batch(self):
+        b1 = generate_sat_batch(30, "medium", 4, seed=1)
+        b2 = generate_sat_batch(30, "medium", 4, seed=2)
+        assert [t.files for t in b1.tasks] != [t.files for t in b2.tasks]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_sat_batch(10, "extreme", 4)
+        with pytest.raises(ValueError):
+            generate_sat_batch(0, "high", 4)
+
+
+class TestHotspotStructure:
+    def test_four_sets_day_disjoint(self):
+        b = generate_sat_batch(80, "high", 4, seed=0)
+        days_by_set: dict[int, set[int]] = {}
+        for t in b.tasks:
+            s = hotspot_of(t.task_id)
+            for f in t.files:
+                day = int(f.split("_")[1][1:])
+                days_by_set.setdefault(s, set()).add(day)
+        sets = list(days_by_set.values())
+        for i in range(len(sets)):
+            for j in range(i + 1, len(sets)):
+                assert not (sets[i] & sets[j])
+
+    def test_no_cross_set_file_sharing(self):
+        b = generate_sat_batch(80, "medium", 4, seed=0)
+        owner: dict[str, int] = {}
+        for t in b.tasks:
+            s = hotspot_of(t.task_id)
+            for f in t.files:
+                assert owner.setdefault(f, s) == s
+
+    def test_round_robin_assignment(self):
+        b = generate_sat_batch(8, "high", 4, seed=0)
+        assert [hotspot_of(t.task_id) for t in b.tasks] == [0, 1, 2, 3] * 2
+
+
+class TestOverlapCalibration:
+    """The presets must land near the paper's 85 / 40 / 10 per cent."""
+
+    @pytest.mark.parametrize(
+        "level,target,tolerance",
+        [("high", 0.85, 0.10), ("medium", 0.40, 0.10), ("low", 0.10, 0.08)],
+    )
+    def test_within_set_overlap(self, level, target, tolerance):
+        vals = []
+        for seed in range(5):
+            b = generate_sat_batch(100, level, 4, seed=seed)
+            vals.append(within_group_overlap(b, sat_groups(b)))
+        assert np.mean(vals) == pytest.approx(target, abs=tolerance)
+
+    def test_levels_are_ordered(self):
+        measured = {}
+        for lvl in ("high", "medium", "low"):
+            b = generate_sat_batch(100, lvl, 4, seed=0)
+            measured[lvl] = within_group_overlap(b, sat_groups(b))
+        assert measured["high"] > measured["medium"] > measured["low"]
+
+    def test_global_sharing_ordered(self):
+        fracs = [
+            overlap_fraction(generate_sat_batch(100, lvl, 4, seed=0))
+            for lvl in ("high", "medium", "low")
+        ]
+        assert fracs[0] > fracs[1] > fracs[2]
+
+
+class TestConfigValidation:
+    def test_preset_windows_valid(self):
+        for cfg in SAT_PRESETS.values():
+            cfg.validate()
+
+    def test_invalid_day_window(self):
+        cfg = SatConfig(window=(1, 1, 6), jitter=(0, 0, 0))
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_invalid_spatial_window(self):
+        cfg = SatConfig(window=(9, 1, 1), jitter=(3, 0, 0), bases=((0, 0),) * 4)
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_files_per_task_property(self):
+        assert SAT_PRESETS["high"].files_per_task == 8
+        assert SAT_PRESETS["medium"].files_per_task == 14
