@@ -20,6 +20,7 @@ Examples
     python -m repro run --workload image --overlap high --tasks 60 \
         --schemes bipartition minmin --gantt
     python -m repro figure fig4b --tasks 40 --csv fig4b.csv
+    python -m repro figure fig5b --workers 4 --json fig5b.json
 """
 
 from __future__ import annotations
@@ -33,6 +34,7 @@ from .batch import Batch, overlap_fraction, pairwise_overlap
 from .cluster import ClusterState, Runtime, render_ascii, to_chrome_trace
 from .core import make_scheduler
 from .experiments import (
+    ExperimentConfig,
     fig3_image_overlap,
     fig4_sat_overlap,
     fig5a_replication_benefit,
@@ -40,6 +42,7 @@ from .experiments import (
     fig6a_compute_scaling,
     fig6b_scheduling_overhead,
 )
+from .parallel import DEFAULT_CACHE_DIR, ResultCache, map_configs
 from .workloads import (
     generate_image_batch,
     generate_sat_batch,
@@ -72,6 +75,46 @@ def _batch(args, num_storage: int) -> Batch:
         hot_probability=0.6,
         seed=args.seed,
     )
+
+
+def _add_parallel_args(p: argparse.ArgumentParser, cache_default_on: bool):
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan experiment cells out across N processes (1 = serial)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result-cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    if cache_default_on:
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="always re-simulate; don't read or write the result cache",
+        )
+    else:
+        p.add_argument(
+            "--cache",
+            action="store_true",
+            help="replay finished cells from the on-disk result cache",
+        )
+    p.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="delete every cached result before running",
+    )
+
+
+def _cell_cache(args, enabled: bool):
+    """Build the ResultCache requested by the CLI flags (False = off)."""
+    cache = ResultCache(args.cache_dir)
+    if args.clear_cache:
+        removed = cache.clear()
+        print(f"cache cleared: {removed} entr{'y' if removed == 1 else 'ies'} removed")
+    return cache if enabled else False
 
 
 def _add_workload_args(p: argparse.ArgumentParser):
@@ -114,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--candidate-limit", type=int, default=None)
     pr.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart of the last scheme")
     pr.add_argument("--trace", metavar="FILE", help="write a Chrome trace JSON of the last scheme")
+    _add_parallel_args(pr, cache_default_on=False)
 
     pf = sub.add_parser("figure", help="regenerate a paper figure")
     pf.add_argument(
@@ -124,8 +168,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     pf.add_argument("--tasks", type=int, default=40, help="tasks for fig3/4/5a")
+    pf.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="batch sizes for fig5b / node counts for fig6a+fig6b",
+    )
     pf.add_argument("--ip-time-limit", type=float, default=15.0)
     pf.add_argument("--csv", metavar="FILE", help="also write the table as CSV")
+    pf.add_argument("--json", metavar="FILE", help="also write the records as JSON")
+    _add_parallel_args(pf, cache_default_on=True)
     return parser
 
 
@@ -153,7 +206,74 @@ def _cmd_workload(args) -> int:
     return 0
 
 
+def _print_run_header():
+    print(
+        f"{'scheme':14s} {'makespan':>10s} {'sched ms/task':>14s} "
+        f"{'remote MB':>10s} {'replica MB':>11s} {'evict':>6s} {'sub':>4s}"
+    )
+
+
+def _cmd_run_parallel(args) -> int:
+    """Fan the requested schemes out through ``repro.parallel``."""
+    platform = _platform(args)
+    batch = _batch(args, platform.num_storage)
+    print(f"{batch} on {platform.name} ({platform.num_compute} compute nodes)\n")
+    _print_run_header()
+    cache = _cell_cache(args, enabled=args.cache)
+    disk = math.inf if args.disk_gb is None else args.disk_gb * 1000.0
+    configs = []
+    for scheme in args.schemes:
+        kwargs = {}
+        if scheme == "ip":
+            kwargs = {"time_limit": args.ip_time_limit, "mip_rel_gap": 0.05}
+        configs.append(
+            ExperimentConfig(
+                experiment="cli-run",
+                workload=args.workload,
+                overlap=args.overlap,
+                num_tasks=args.tasks,
+                storage=args.storage,
+                num_compute=args.compute,
+                num_storage=args.storage_nodes,
+                disk_space_mb=disk,
+                scheme=scheme,
+                seed=args.seed,
+                allow_replication=not args.no_replication,
+                candidate_limit=args.candidate_limit,
+                scheduler_kwargs=kwargs,
+            )
+        )
+    records = map_configs(configs, workers=args.workers, cache=cache)
+    for scheme, rec in zip(args.schemes, records):
+        print(
+            f"{scheme:14s} {rec.makespan_s:9.1f}s {rec.scheduling_ms_per_task:14.2f} "
+            f"{rec.remote_volume_mb:10.0f} "
+            f"{rec.replication_volume_mb:11.0f} "
+            f"{rec.evictions:6d} {rec.sub_batches:4d}"
+        )
+    if args.cache:
+        print(f"\ncache: {cache.stats.summary()} in {cache.root}")
+    return 0
+
+
 def _cmd_run(args) -> int:
+    # The parallel/cached path covers the common cell-shaped invocations;
+    # trace, Gantt, saved batches, synthetic workloads and I/O-overlap runs
+    # need the in-process runtime below.
+    parallelisable = not (
+        args.load
+        or args.gantt
+        or args.trace
+        or args.overlap_io
+        or args.workload == "synthetic"
+    )
+    if parallelisable and (args.workers > 1 or args.cache or args.clear_cache):
+        return _cmd_run_parallel(args)
+    if not parallelisable and (args.workers > 1 or args.cache):
+        print(
+            "note: --workers/--cache need generated sat/image workloads "
+            "without --load/--gantt/--trace/--overlap-io; running serially\n"
+        )
     platform = _platform(args)
     if args.load:
         from .io import load_batch
@@ -172,10 +292,7 @@ def _cmd_run(args) -> int:
     else:
         batch = _batch(args, platform.num_storage)
     print(f"{batch} on {platform.name} ({platform.num_compute} compute nodes)\n")
-    print(
-        f"{'scheme':14s} {'makespan':>10s} {'sched ms/task':>14s} "
-        f"{'remote MB':>10s} {'replica MB':>11s} {'evict':>6s} {'sub':>4s}"
-    )
+    _print_run_header()
     last_runtime: Runtime | None = None
     for scheme in args.schemes:
         kwargs = {}
@@ -250,30 +367,42 @@ def _cmd_run(args) -> int:
 
 def _cmd_figure(args) -> int:
     name = args.name
+    cache = _cell_cache(args, enabled=not args.no_cache)
+    fan = dict(workers=args.workers, cache=cache)
     if name in ("fig3a", "fig3b"):
         table = fig3_image_overlap(
             storage="osumed" if name == "fig3a" else "xio",
             num_tasks=args.tasks,
             ip_time_limit=args.ip_time_limit,
+            **fan,
         )
     elif name in ("fig4a", "fig4b"):
         table = fig4_sat_overlap(
             storage="osumed" if name == "fig4a" else "xio",
             num_tasks=args.tasks,
             ip_time_limit=args.ip_time_limit,
+            **fan,
         )
     elif name == "fig5a":
-        table = fig5a_replication_benefit(num_tasks=args.tasks)
+        table = fig5a_replication_benefit(num_tasks=args.tasks, **fan)
     elif name == "fig5b":
-        table = fig5b_batch_size(batch_sizes=(100, 200, 400), disk_space_mb=4000.0)
+        table = fig5b_batch_size(
+            batch_sizes=tuple(args.sizes or (100, 200, 400)),
+            disk_space_mb=4000.0,
+            **fan,
+        )
     elif name == "fig6a":
-        table = fig6a_compute_scaling(node_counts=(2, 8, 32), num_tasks=200)
+        table = fig6a_compute_scaling(
+            node_counts=tuple(args.sizes or (2, 8, 32)), num_tasks=200, **fan
+        )
     else:
         table = fig6b_scheduling_overhead(
-            node_counts=(2, 8, 32), num_tasks=200, ip_task_cap=16,
-            ip_time_limit=args.ip_time_limit,
+            node_counts=tuple(args.sizes or (2, 8, 32)), num_tasks=200,
+            ip_task_cap=16, ip_time_limit=args.ip_time_limit, **fan,
         )
     print(table.render())
+    if not args.no_cache:
+        print(f"\ncache: {cache.stats.summary()} in {cache.root}")
     if args.csv:
         columns = (
             "experiment", "workload", "scheme", "x", "makespan_s",
@@ -283,6 +412,17 @@ def _cmd_figure(args) -> int:
         with open(args.csv, "w") as fh:
             fh.write(table.to_csv(columns) + "\n")
         print(f"\nCSV written to {args.csv}")
+    if args.json:
+        import json as _json
+        from dataclasses import asdict
+
+        with open(args.json, "w") as fh:
+            _json.dump(
+                {"title": table.title, "records": [asdict(r) for r in table.records]},
+                fh,
+                indent=2,
+            )
+        print(f"JSON written to {args.json}")
     return 0
 
 

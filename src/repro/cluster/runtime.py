@@ -34,7 +34,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
-from ..batch import Batch, Task
+from ..batch import Task
 from .cache import CacheFullError
 from .gantt import Overlay, Timeline, earliest_common_slot
 from .platform import Platform
@@ -372,9 +372,10 @@ class Runtime:
         eviction; default is size-ascending.
         """
         if victim_order is None:
-            victim_order = lambda node, cands: sorted(
-                cands, key=lambda f: self.state.size_of(f)
-            )
+
+            def victim_order(node, cands):
+                return sorted(cands, key=lambda f: self.state.size_of(f))
+
         start_time = self.clock
         for t in tasks:
             if t.task_id not in mapping:

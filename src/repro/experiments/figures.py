@@ -7,14 +7,24 @@ regeneration stays laptop-sized (see ``benchmarks/``), since the substrate
 here is a simulator rather than the authors' clusters. The *shape* of every
 figure — which scheme wins, by what factor, where trends bend — is preserved
 at either scale and asserted by the benchmarks.
+
+Every sweep routes its independent cells through
+:func:`repro.parallel.map_configs`, so figures regenerate across multiple
+processes (``workers``) and replay unchanged cells from the on-disk cache
+(``cache``); passing ``workers=None``/``cache=None`` defers to the
+process-wide defaults set by :func:`repro.parallel.configure` or the
+``REPRO_WORKERS``/``REPRO_CACHE_DIR`` environment variables.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from .report import Table
-from .runner import ExperimentConfig, default_scheduler_kwargs, run_config
+from .runner import ExperimentConfig, default_scheduler_kwargs
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..parallel import ResultCache
 
 __all__ = [
     "fig3_image_overlap",
@@ -30,6 +40,24 @@ BASELINES = ("minmin", "jdp")
 ALL_SCHEMES = PROPOSED + BASELINES
 
 
+def _sweep(
+    table: Table,
+    cells: Sequence[tuple[ExperimentConfig, float | str | None]],
+    workers: int | None,
+    cache: "ResultCache | None | bool",
+) -> Table:
+    """Fan the sweep's cells out through ``repro.parallel`` and collect."""
+    # Imported here, not at module top: repro.parallel itself imports the
+    # experiment runner, and this package's __init__ imports figures.
+    from ..parallel import map_configs
+
+    configs = [cfg for cfg, _ in cells]
+    xs = [x for _, x in cells]
+    for record in map_configs(configs, xs, workers=workers, cache=cache):
+        table.add(record)
+    return table
+
+
 def _overlap_sweep(
     experiment: str,
     workload: str,
@@ -39,14 +67,16 @@ def _overlap_sweep(
     schemes: Sequence[str],
     seed: int,
     ip_time_limit: float,
+    workers: int | None = None,
+    cache: "ResultCache | None | bool" = None,
 ) -> Table:
     table = Table(
         f"{experiment}: {workload.upper()} batch execution time on "
         f"{storage.upper()} (n={num_tasks}, 4 compute + 4 storage)"
     )
-    for overlap in overlaps:
-        for scheme in schemes:
-            cfg = ExperimentConfig(
+    cells = [
+        (
+            ExperimentConfig(
                 experiment=experiment,
                 workload=workload,
                 overlap=overlap,
@@ -55,9 +85,13 @@ def _overlap_sweep(
                 scheme=scheme,
                 seed=seed,
                 scheduler_kwargs=default_scheduler_kwargs(scheme, ip_time_limit),
-            )
-            table.add(run_config(cfg, x=overlap))
-    return table
+            ),
+            overlap,
+        )
+        for overlap in overlaps
+        for scheme in schemes
+    ]
+    return _sweep(table, cells, workers, cache)
 
 
 def fig3_image_overlap(
@@ -66,6 +100,8 @@ def fig3_image_overlap(
     schemes: Sequence[str] = ALL_SCHEMES,
     seed: int = 0,
     ip_time_limit: float = 60.0,
+    workers: int | None = None,
+    cache: "ResultCache | None | bool" = None,
 ) -> Table:
     """Figure 3: IMAGE batch execution time vs overlap level.
 
@@ -82,6 +118,8 @@ def fig3_image_overlap(
         schemes,
         seed,
         ip_time_limit,
+        workers,
+        cache,
     )
 
 
@@ -91,6 +129,8 @@ def fig4_sat_overlap(
     schemes: Sequence[str] = ALL_SCHEMES,
     seed: int = 0,
     ip_time_limit: float = 60.0,
+    workers: int | None = None,
+    cache: "ResultCache | None | bool" = None,
 ) -> Table:
     """Figure 4: SAT batch execution time vs overlap level (as Fig. 3)."""
     return _overlap_sweep(
@@ -102,6 +142,8 @@ def fig4_sat_overlap(
         schemes,
         seed,
         ip_time_limit,
+        workers,
+        cache,
     )
 
 
@@ -110,6 +152,8 @@ def fig5a_replication_benefit(
     schemes: Sequence[str] = ("bipartition",),
     seed: int = 0,
     ip_time_limit: float = 60.0,
+    workers: int | None = None,
+    cache: "ResultCache | None | bool" = None,
 ) -> Table:
     """Figure 5(a): benefit of compute-to-compute replication.
 
@@ -122,26 +166,28 @@ def fig5a_replication_benefit(
         f"fig5a: replication vs no replication "
         f"(n={num_tasks}, 8 compute + 4 OSUMED storage, high overlap)"
     )
-    for workload in ("image", "sat"):
-        for scheme in schemes:
-            for allow in (True, False):
-                cfg = ExperimentConfig(
-                    experiment="fig5a",
-                    workload=workload,
-                    overlap="high",
-                    num_tasks=num_tasks,
-                    storage="osumed",
-                    num_compute=8,
-                    num_storage=4,
-                    scheme=scheme,
-                    seed=seed,
-                    allow_replication=allow,
-                    scheduler_kwargs=default_scheduler_kwargs(
-                        scheme, ip_time_limit
-                    ),
-                )
-                table.add(run_config(cfg, x=workload))
-    return table
+    cells = [
+        (
+            ExperimentConfig(
+                experiment="fig5a",
+                workload=workload,
+                overlap="high",
+                num_tasks=num_tasks,
+                storage="osumed",
+                num_compute=8,
+                num_storage=4,
+                scheme=scheme,
+                seed=seed,
+                allow_replication=allow,
+                scheduler_kwargs=default_scheduler_kwargs(scheme, ip_time_limit),
+            ),
+            workload,
+        )
+        for workload in ("image", "sat")
+        for scheme in schemes
+        for allow in (True, False)
+    ]
+    return _sweep(table, cells, workers, cache)
 
 
 def fig5b_batch_size(
@@ -150,6 +196,8 @@ def fig5b_batch_size(
     schemes: Sequence[str] = ("bipartition",) + BASELINES,
     seed: int = 0,
     candidate_limit: int | None = 25,
+    workers: int | None = None,
+    cache: "ResultCache | None | bool" = None,
 ) -> Table:
     """Figure 5(b): batch execution time vs batch size under disk pressure.
 
@@ -163,9 +211,9 @@ def fig5b_batch_size(
         f"fig5b: IMAGE high overlap, batch-size sweep "
         f"(disk {disk_space_mb / 1000:.0f} GB/node, 4 compute + 4 XIO)"
     )
-    for n in batch_sizes:
-        for scheme in schemes:
-            cfg = ExperimentConfig(
+    cells = [
+        (
+            ExperimentConfig(
                 experiment="fig5b",
                 workload="image",
                 overlap="high",
@@ -175,9 +223,13 @@ def fig5b_batch_size(
                 scheme=scheme,
                 seed=seed,
                 candidate_limit=candidate_limit,
-            )
-            table.add(run_config(cfg, x=n))
-    return table
+            ),
+            n,
+        )
+        for n in batch_sizes
+        for scheme in schemes
+    ]
+    return _sweep(table, cells, workers, cache)
 
 
 def fig6a_compute_scaling(
@@ -186,6 +238,8 @@ def fig6a_compute_scaling(
     schemes: Sequence[str] = ("bipartition",) + BASELINES,
     seed: int = 0,
     candidate_limit: int | None = 25,
+    workers: int | None = None,
+    cache: "ResultCache | None | bool" = None,
 ) -> Table:
     """Figure 6(a): batch execution time vs number of compute nodes.
 
@@ -197,9 +251,9 @@ def fig6a_compute_scaling(
         f"fig6a: IMAGE high overlap (n={num_tasks}), compute-node sweep "
         f"(8 XIO storage)"
     )
-    for c in node_counts:
-        for scheme in schemes:
-            cfg = ExperimentConfig(
+    cells = [
+        (
+            ExperimentConfig(
                 experiment="fig6a",
                 workload="image",
                 overlap="high",
@@ -210,9 +264,13 @@ def fig6a_compute_scaling(
                 scheme=scheme,
                 seed=seed,
                 candidate_limit=candidate_limit,
-            )
-            table.add(run_config(cfg, x=c))
-    return table
+            ),
+            c,
+        )
+        for c in node_counts
+        for scheme in schemes
+    ]
+    return _sweep(table, cells, workers, cache)
 
 
 def fig6b_scheduling_overhead(
@@ -223,6 +281,8 @@ def fig6b_scheduling_overhead(
     ip_time_limit: float = 20.0,
     seed: int = 0,
     candidate_limit: int | None = 25,
+    workers: int | None = None,
+    cache: "ResultCache | None | bool" = None,
 ) -> Table:
     """Figure 6(b): per-task scheduling time (ms) vs number of compute nodes.
 
@@ -236,14 +296,13 @@ def fig6b_scheduling_overhead(
         f"fig6b: per-task scheduling overhead (ms), IMAGE high overlap, "
         f"8 XIO storage"
     )
-    for c in node_counts:
-        for scheme in schemes:
-            n = min(num_tasks, ip_task_cap) if scheme == "ip" else num_tasks
-            cfg = ExperimentConfig(
+    cells = [
+        (
+            ExperimentConfig(
                 experiment="fig6b",
                 workload="image",
                 overlap="high",
-                num_tasks=n,
+                num_tasks=min(num_tasks, ip_task_cap) if scheme == "ip" else num_tasks,
                 storage="xio",
                 num_compute=c,
                 num_storage=8,
@@ -251,6 +310,10 @@ def fig6b_scheduling_overhead(
                 seed=seed,
                 candidate_limit=candidate_limit,
                 scheduler_kwargs=default_scheduler_kwargs(scheme, ip_time_limit),
-            )
-            table.add(run_config(cfg, x=c))
-    return table
+            ),
+            c,
+        )
+        for c in node_counts
+        for scheme in schemes
+    ]
+    return _sweep(table, cells, workers, cache)

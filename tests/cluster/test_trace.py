@@ -101,3 +101,73 @@ class TestChromeTrace:
             if e.get("ph") == "X"
         )
         assert max_ts == pytest.approx(max_end_us)
+
+
+class TestChromeTraceSchema:
+    """Validate the JSON event schema against the chrome://tracing format."""
+
+    def test_top_level_shape(self, executed_runtime):
+        doc = json.loads(to_chrome_trace(executed_runtime))
+        assert set(doc) == {"traceEvents"}
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_complete_event_fields(self, executed_runtime):
+        doc = json.loads(to_chrome_trace(executed_runtime))
+        for e in doc["traceEvents"]:
+            if e["ph"] != "X":
+                continue
+            # "Complete" events require name/cat/ph/pid/tid/ts/dur.
+            assert set(e) >= {"name", "cat", "ph", "pid", "tid", "ts", "dur"}
+            assert isinstance(e["name"], str) and e["name"]
+            assert e["cat"] in ("xfer", "push", "exec", "other")
+            assert e["pid"] == 0
+            assert isinstance(e["tid"], int)
+            assert isinstance(e["ts"], float)
+            assert isinstance(e["dur"], float)
+
+    def test_metadata_names_every_thread(self, executed_runtime):
+        doc = json.loads(to_chrome_trace(executed_runtime))
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        for e in meta:
+            assert e["name"] == "thread_name"
+            assert e["args"]["name"]
+        named_tids = {e["tid"] for e in meta}
+        used_tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert used_tids <= named_tids
+
+    def test_tids_are_distinct_per_resource(self, executed_runtime):
+        doc = json.loads(to_chrome_trace(executed_runtime))
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = [e["args"]["name"] for e in meta]
+        tids = [e["tid"] for e in meta]
+        assert len(set(names)) == len(names)
+        assert len(set(tids)) == len(tids)
+
+    def test_events_match_trace_events(self, executed_runtime):
+        doc = json.loads(to_chrome_trace(executed_runtime))
+        tid_to_name = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M"
+        }
+        exported = {
+            (tid_to_name[e["tid"]], e["ts"], e["dur"], e["name"])
+            for e in doc["traceEvents"]
+            if e["ph"] == "X"
+        }
+        expected = {
+            (ev.resource, ev.start * 1e6, ev.duration * 1e6, ev.tag)
+            for ev in trace_events(executed_runtime)
+        }
+        assert exported == expected
+
+    def test_empty_runtime_exports_only_metadata(self):
+        from repro.cluster import osc_xio
+
+        platform = osc_xio(num_compute=1, num_storage=1)
+        state = ClusterState(platform, {})
+        rt = Runtime(platform, state)
+        doc = json.loads(to_chrome_trace(rt))
+        assert all(e["ph"] == "M" for e in doc["traceEvents"])
+        # One thread_name record per resource (nodes + storage + link).
+        assert len(doc["traceEvents"]) >= 2
