@@ -1,0 +1,52 @@
+"""Static analysis and post-hoc verification tooling for the reproduction.
+
+Two coordinated correctness layers on top of the simulator:
+
+* :mod:`repro.analysis.lint` — repo-specific AST lint rules (RPR001–RPR005)
+  guarding the determinism and numerical hygiene the result cache and the
+  paper's cost model depend on.  Run as ``python -m repro.analysis.lint
+  src/repro`` or ``repro lint``.
+* :mod:`repro.analysis.audit` — a schedule auditor that re-verifies executed
+  Gantt traces against the paper's execution-time invariants (single-port
+  model, staged-before-execute, disk capacity), mirroring how
+  :func:`repro.core.validate.validate_plan` oracles *plans*.  Run via
+  ``run_batch(..., audit=True)`` or ``repro audit``.
+
+``docs/invariants.md`` catalogues every invariant both layers enforce.
+"""
+
+from typing import Any
+
+__all__ = [
+    "AuditError",
+    "AuditReport",
+    "AuditViolation",
+    "audit_runtime",
+    "Finding",
+    "Rule",
+    "iter_rules",
+    "lint_paths",
+    "lint_source",
+]
+
+_LINT_NAMES = frozenset(
+    {"Finding", "Rule", "iter_rules", "lint_paths", "lint_source"}
+)
+_AUDIT_NAMES = frozenset(
+    {"AuditError", "AuditReport", "AuditViolation", "audit_runtime"}
+)
+
+
+def __getattr__(name: str) -> Any:
+    # Lazy re-exports: keeps `python -m repro.analysis.lint` from importing
+    # the submodule twice (runpy warns) and the audit layer import-free for
+    # lint-only invocations.
+    if name in _LINT_NAMES:
+        from . import lint
+
+        return getattr(lint, name)
+    if name in _AUDIT_NAMES:
+        from . import audit
+
+        return getattr(audit, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

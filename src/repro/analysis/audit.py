@@ -1,0 +1,288 @@
+"""Post-hoc verification of executed Gantt traces (``repro audit``).
+
+:func:`repro.core.validate.validate_plan` oracles *plans*; this module
+oracles *executions*.  Schedulers and the Section 6 runtime are trusted at
+run time, so a bug in overlay commits, cache mirroring or transfer source
+selection would silently produce traces that break the paper's cost model.
+The auditor re-derives the execution-time invariants from the recorded
+timelines and the :class:`~repro.cluster.events.AuditTrail` and reports
+every breach:
+
+E1. no two busy intervals overlap on any resource timeline — the
+    single-port model (Section 2; every transfer serialises on both of its
+    endpoints, Eq. 12);
+E2. every input file of a task is staged (transfer completed) or already
+    resident before the task's execution starts;
+E3. per-node disk occupancy never exceeds ``disk_space_mb``, replayed in
+    commit order over transfers and evictions (Eq. 16/21);
+E4. staging never overlaps execution on the same node (the paper's
+    non-overlap assumption; skipped when the runtime deliberately relaxes
+    it with ``overlap_io_compute=True``);
+E5. reported :class:`~repro.cluster.stats.TaskRecord` timings are
+    consistent with the trace (matching reserved exec interval,
+    ``transfers_done <= exec_start <= completion``).
+
+Use :func:`repro.core.driver.run_batch` with ``audit=True`` to execute a
+batch with the trail enabled and fail fast on any violation; the test
+suite uses the same path as an oracle over randomized workloads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..cluster.events import AuditTrail, EvictionEvent, ExecEvent, TransferEvent
+from ..cluster.gantt import Interval, Timeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.runtime import Runtime
+    from ..cluster.stats import ExecutionResult
+
+__all__ = ["AuditError", "AuditViolation", "AuditReport", "audit_runtime"]
+
+#: Audit tolerance on simulated times — coarser than the Gantt chart's
+#: internal epsilon so float accumulation over long traces cannot produce
+#: spurious violations.
+AUDIT_EPS = 1e-6
+
+
+class AuditError(RuntimeError):
+    """Raised when an executed trace violates an execution invariant."""
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One broken execution invariant."""
+
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.message}"
+
+
+@dataclass
+class AuditReport:
+    """All violations found in an executed trace (empty = clean)."""
+
+    violations: list[AuditViolation] = field(default_factory=list)
+    checked_events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, code: str, message: str) -> None:
+        self.violations.append(AuditViolation(code, message))
+
+    def raise_if_violations(self) -> None:
+        if not self.ok:
+            summary = "; ".join(str(v) for v in self.violations[:5])
+            raise AuditError(
+                f"executed trace violates {len(self.violations)} "
+                f"invariant(s): {summary}"
+            )
+
+    def __str__(self) -> str:
+        return "\n".join(str(v) for v in self.violations) or "OK"
+
+
+def _audit_timelines(timelines: Iterable[Timeline], report: AuditReport) -> None:
+    """E1 — busy intervals on every resource are pairwise disjoint."""
+    for tl in timelines:
+        ivs = sorted(tl.intervals, key=lambda iv: (iv.start, iv.end))
+        for prev, cur in zip(ivs, ivs[1:], strict=False):
+            if prev.end > cur.start + AUDIT_EPS:
+                report.add(
+                    "E1",
+                    f"resource {tl.name!r}: interval {prev.tag!r} "
+                    f"[{prev.start:.3f}, {prev.end:.3f}) overlaps "
+                    f"{cur.tag!r} [{cur.start:.3f}, {cur.end:.3f}) — "
+                    "single-port model broken",
+                )
+
+
+def _audit_staging_before_exec(trail: AuditTrail, report: AuditReport) -> None:
+    """E2 — every consumed file arrives before its task starts executing."""
+    first_arrival: dict[tuple[int, str], float] = {}
+    for tr in trail.transfers:
+        key = (tr.dest, tr.file_id)
+        if key not in first_arrival or tr.end < first_arrival[key]:
+            first_arrival[key] = tr.end
+    for ev in trail.execs:
+        initial = trail.initial_holdings.get(ev.node, {})
+        for f in ev.files:
+            if f in initial:
+                continue
+            arrived = first_arrival.get((ev.node, f))
+            if arrived is None:
+                report.add(
+                    "E2",
+                    f"task {ev.task_id} on node {ev.node} consumed {f} "
+                    "but no transfer ever delivered it",
+                )
+            elif arrived > ev.start + AUDIT_EPS:
+                report.add(
+                    "E2",
+                    f"task {ev.task_id} on node {ev.node} started at "
+                    f"{ev.start:.3f} but input {f} only arrived at "
+                    f"{arrived:.3f}",
+                )
+
+
+def _audit_disk_occupancy(
+    runtime: Runtime, trail: AuditTrail, report: AuditReport
+) -> None:
+    """E3 — replay transfers/evictions; occupancy never exceeds capacity."""
+    resident: dict[int, dict[str, float]] = {
+        node: dict(files) for node, files in trail.initial_holdings.items()
+    }
+    flagged: set[int] = set()
+    for event in trail.in_commit_order():
+        if isinstance(event, TransferEvent):
+            node_files = resident.setdefault(event.dest, {})
+            node_files[event.file_id] = event.size_mb
+            cap = runtime.platform.compute_nodes[event.dest].disk_space_mb
+            used = sum(node_files.values())
+            if used > cap + AUDIT_EPS and event.dest not in flagged:
+                flagged.add(event.dest)
+                report.add(
+                    "E3",
+                    f"node {event.dest} holds {used:.1f} MB after staging "
+                    f"{event.file_id} but its disk is {cap:.1f} MB",
+                )
+        elif isinstance(event, EvictionEvent):
+            node_files = resident.setdefault(event.node, {})
+            if node_files.pop(event.file_id, None) is None:
+                report.add(
+                    "E3",
+                    f"eviction of {event.file_id} from node {event.node} "
+                    "but the trail never staged it there",
+                )
+
+
+def _exec_timeline(runtime: Runtime, node: int) -> Timeline:
+    if runtime.cpu_tl is not None:
+        return runtime.cpu_tl[node]
+    return runtime.node_tl[node]
+
+
+def _audit_no_staging_during_exec(
+    runtime: Runtime, report: AuditReport
+) -> None:
+    """E4 — no transfer onto a node while a task executes there."""
+    if runtime.overlap_io_compute:
+        return  # the ablation mode deliberately relaxes this invariant
+    for node in range(runtime.platform.num_compute):
+        port_ivs = runtime.node_tl[node].intervals
+        execs = [iv for iv in _exec_timeline(runtime, node).intervals
+                 if iv.tag.startswith("exec:")]
+        staging = [iv for iv in port_ivs
+                   if iv.tag.startswith(("xfer:", "push:"))]
+        for ex in execs:
+            for st in staging:
+                if st.start < ex.end - AUDIT_EPS and st.end > ex.start + AUDIT_EPS:
+                    report.add(
+                        "E4",
+                        f"node {node}: staging {st.tag!r} "
+                        f"[{st.start:.3f}, {st.end:.3f}) overlaps execution "
+                        f"{ex.tag!r} [{ex.start:.3f}, {ex.end:.3f})",
+                    )
+
+
+def _exec_intervals_by_task(
+    runtime: Runtime, trail: AuditTrail
+) -> dict[str, list[Interval]]:
+    by_task: dict[str, list[Interval]] = {}
+    nodes = {ev.node for ev in trail.execs}
+    for node in nodes:
+        for iv in _exec_timeline(runtime, node).intervals:
+            if iv.tag.startswith("exec:"):
+                by_task.setdefault(iv.tag[len("exec:"):], []).append(iv)
+    return by_task
+
+
+def _audit_records(
+    runtime: Runtime,
+    trail: AuditTrail,
+    results: Iterable[ExecutionResult],
+    report: AuditReport,
+) -> None:
+    """E5 — reported task records agree with the trace."""
+    by_task = _exec_intervals_by_task(runtime, trail)
+    events = {ev.task_id: ev for ev in trail.execs}
+    for result in results:
+        for rec in result.records:
+            ev = events.get(rec.task_id)
+            if ev is None:
+                report.add(
+                    "E5",
+                    f"record for task {rec.task_id} has no matching "
+                    "execution event in the trail",
+                )
+                continue
+            reserved = any(
+                abs(iv.start - rec.exec_start) <= AUDIT_EPS
+                and abs(iv.end - rec.completion) <= AUDIT_EPS
+                for iv in by_task.get(rec.task_id, [])
+            )
+            if not reserved:
+                report.add(
+                    "E5",
+                    f"task {rec.task_id}: no reserved exec interval matches "
+                    f"its record [{rec.exec_start:.3f}, {rec.completion:.3f})",
+                )
+            if rec.transfers_done > rec.exec_start + AUDIT_EPS:
+                report.add(
+                    "E5",
+                    f"task {rec.task_id}: transfers_done "
+                    f"{rec.transfers_done:.3f} after exec_start "
+                    f"{rec.exec_start:.3f}",
+                )
+            if rec.completion < rec.exec_start - AUDIT_EPS:
+                report.add(
+                    "E5",
+                    f"task {rec.task_id}: completion {rec.completion:.3f} "
+                    f"before exec_start {rec.exec_start:.3f}",
+                )
+
+
+def _all_timelines(runtime: Runtime) -> list[Timeline]:
+    out = list(runtime.node_tl)
+    if runtime.cpu_tl is not None:
+        out.extend(runtime.cpu_tl)
+    out.extend(runtime.storage_tl)
+    if runtime.link_tl is not None:
+        out.append(runtime.link_tl)
+    return out
+
+
+def audit_runtime(
+    runtime: Runtime,
+    results: Sequence[ExecutionResult] | None = None,
+) -> AuditReport:
+    """Verify an executed runtime's trace; returns the full report.
+
+    The runtime must have been constructed with ``audit=True`` so the
+    commit-ordered :class:`~repro.cluster.events.AuditTrail` exists; pass
+    the per-sub-batch :class:`~repro.cluster.stats.ExecutionResult` values
+    to additionally cross-check the reported records (E5).
+    """
+    trail = runtime.trail
+    if trail is None:
+        raise ValueError(
+            "runtime has no audit trail; construct it with audit=True"
+        )
+    report = AuditReport()
+    _audit_timelines(_all_timelines(runtime), report)
+    _audit_staging_before_exec(trail, report)
+    _audit_disk_occupancy(runtime, trail, report)
+    _audit_no_staging_during_exec(runtime, report)
+    if results is not None:
+        _audit_records(runtime, trail, results, report)
+    report.checked_events = (
+        len(trail.transfers) + len(trail.execs) + len(trail.evictions)
+    )
+    return report

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 __all__ = ["FileInfo", "Task", "Batch", "overlap_fraction", "pairwise_overlap"]
 
@@ -91,7 +91,7 @@ class Batch:
         t = self.task(task) if isinstance(task, str) else task
         return sum(self.files[f].size_mb for f in t.files)
 
-    def subset(self, task_ids: Iterable[str]) -> "Batch":
+    def subset(self, task_ids: Iterable[str]) -> Batch:
         """A batch restricted to the given tasks (file catalog shared)."""
         wanted = [self._by_id[t] for t in task_ids]
         used = {f for t in wanted for f in t.files}

@@ -12,6 +12,13 @@ Commands
 ``figure``
     Regenerate one of the paper's figures (fig3a, fig3b, fig4a, fig4b,
     fig5a, fig5b, fig6a, fig6b) at a chosen scale and print its table.
+``lint``
+    Run the repo-specific static lint rules (RPR001–RPR005, see
+    :mod:`repro.analysis.lint`) over source paths.
+``audit``
+    Execute a batch with the audit trail enabled and verify the resulting
+    Gantt trace against the execution invariants E1–E5
+    (:mod:`repro.analysis.audit`, ``docs/invariants.md``).
 
 Examples
 --------
@@ -21,6 +28,8 @@ Examples
         --schemes bipartition minmin --gantt
     python -m repro figure fig4b --tasks 40 --csv fig4b.csv
     python -m repro figure fig5b --workers 4 --json fig5b.json
+    python -m repro lint src/repro
+    python -m repro audit --workload sat --tasks 30 --schemes minmin jdp
 """
 
 from __future__ import annotations
@@ -179,6 +188,30 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--csv", metavar="FILE", help="also write the table as CSV")
     pf.add_argument("--json", metavar="FILE", help="also write the records as JSON")
     _add_parallel_args(pf, cache_default_on=True)
+
+    pl = sub.add_parser(
+        "lint", help="run the repo-specific static lint rules (RPR001-RPR005)"
+    )
+    pl.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    pl.add_argument(
+        "--select", nargs="+", metavar="RPRnnn", default=None,
+        help="only run the given rule codes",
+    )
+    pl.add_argument(
+        "--list-rules", action="store_true", help="print the rules and exit"
+    )
+
+    pa = sub.add_parser(
+        "audit", help="execute a batch and verify its trace invariants (E1-E5)"
+    )
+    _add_workload_args(pa)
+    pa.add_argument("--schemes", nargs="+", default=["bipartition", "minmin"])
+    pa.add_argument("--no-replication", action="store_true")
+    pa.add_argument("--candidate-limit", type=int, default=None)
+    pa.add_argument("--ip-time-limit", type=float, default=30.0)
     return parser
 
 
@@ -244,7 +277,7 @@ def _cmd_run_parallel(args) -> int:
             )
         )
     records = map_configs(configs, workers=args.workers, cache=cache)
-    for scheme, rec in zip(args.schemes, records):
+    for scheme, rec in zip(args.schemes, records, strict=True):
         print(
             f"{scheme:14s} {rec.makespan_s:9.1f}s {rec.scheduling_ms_per_task:14.2f} "
             f"{rec.remote_volume_mb:10.0f} "
@@ -326,7 +359,7 @@ def _cmd_run(args) -> int:
                     tasks,
                     plan.mapping,
                     plan.staging,
-                    victim_order=lambda n, c: policy.order(state, n, c),
+                    victim_order=lambda n, c, _p=policy, _s=state: _p.order(_s, n, c),
                 )
                 done = set(plan.task_ids)
                 pending = [t for t in pending if t not in done]
@@ -426,6 +459,55 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis.lint import iter_rules, lint_paths
+
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+    findings = lint_paths(args.paths, args.select)
+    for f in findings:
+        print(f)
+    n = len(findings)
+    print(f"{n} finding{'s' if n != 1 else ''}" if n else "clean: no findings")
+    return 1 if findings else 0
+
+
+def _cmd_audit(args) -> int:
+    from .analysis.audit import AuditError
+
+    platform = _platform(args)
+    batch = _batch(args, platform.num_storage)
+    print(f"{batch} on {platform.name} ({platform.num_compute} compute nodes)\n")
+    failures = 0
+    for scheme in args.schemes:
+        kwargs = {}
+        if scheme == "ip":
+            kwargs = {"time_limit": args.ip_time_limit, "mip_rel_gap": 0.05}
+        try:
+            result = run_batch(
+                batch,
+                platform,
+                scheme,
+                allow_replication=not args.no_replication,
+                candidate_limit=args.candidate_limit,
+                scheduler_kwargs=kwargs,
+                audit=True,
+            )
+        except AuditError as exc:
+            failures += 1
+            print(f"{scheme:14s} FAIL  {exc}")
+            continue
+        report = result.audit_report
+        assert report is not None
+        print(
+            f"{scheme:14s} OK    {report.checked_events} events verified, "
+            f"makespan {result.makespan:.1f}s"
+        )
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -433,6 +515,8 @@ def main(argv: list[str] | None = None) -> int:
         "workload": _cmd_workload,
         "run": _cmd_run,
         "figure": _cmd_figure,
+        "lint": _cmd_lint,
+        "audit": _cmd_audit,
     }
     return handlers[args.command](args)
 

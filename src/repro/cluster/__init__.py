@@ -8,6 +8,7 @@ task-ordering/file-staging runtime.
 """
 
 from .cache import CacheFullError, DiskCache
+from .events import AuditTrail, EvictionEvent, ExecEvent, TransferEvent
 from .gantt import Interval, Overlay, Timeline, earliest_common_slot
 from .platform import (
     MBPS_8GBIT,
@@ -44,6 +45,10 @@ __all__ = [
     "PlannedSource",
     "ExecutionResult",
     "TaskRecord",
+    "AuditTrail",
+    "TransferEvent",
+    "ExecEvent",
+    "EvictionEvent",
     "TraceEvent",
     "trace_events",
     "render_ascii",

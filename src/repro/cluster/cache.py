@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 __all__ = ["CacheFullError", "DiskCache"]
 
@@ -35,7 +35,7 @@ class DiskCache:
         Disk space available; ``math.inf`` models the unlimited-cache case.
     """
 
-    def __init__(self, node_id: int, capacity_mb: float = math.inf):
+    def __init__(self, node_id: int, capacity_mb: float = math.inf) -> None:
         if capacity_mb <= 0:
             raise ValueError("capacity must be positive")
         self.node_id = node_id
@@ -72,7 +72,7 @@ class DiskCache:
         return e is not None and e.pin_count > 0
 
     # -- mutation ----------------------------------------------------------------
-    def add(self, file_id: str, size_mb: float, now: float = 0.0):
+    def add(self, file_id: str, size_mb: float, now: float = 0.0) -> None:
         """Record a staged file; caller must have ensured space first."""
         if file_id in self._entries:
             self._entries[file_id].last_use = now
@@ -91,13 +91,13 @@ class DiskCache:
         self._used -= e.size_mb
         return e.size_mb
 
-    def touch(self, file_id: str, now: float):
+    def touch(self, file_id: str, now: float) -> None:
         self._entries[file_id].last_use = now
 
-    def pin(self, file_id: str):
+    def pin(self, file_id: str) -> None:
         self._entries[file_id].pin_count += 1
 
-    def unpin(self, file_id: str):
+    def unpin(self, file_id: str) -> None:
         e = self._entries[file_id]
         if e.pin_count <= 0:
             raise ValueError(f"unpin of unpinned file {file_id}")

@@ -1,0 +1,118 @@
+"""Execution event log recorded by the runtime when auditing is enabled.
+
+The Gantt timelines alone cannot answer every post-hoc question — evictions
+are instantaneous cache decisions with no busy interval, and an interval's
+tag does not say which task consumed a transferred file.  When a
+:class:`~repro.cluster.runtime.Runtime` is constructed with ``audit=True``
+it appends one event here per committed transfer, push, execution and
+eviction, in *commit order* (the causal order of cache mutations).  The
+schedule auditor (:mod:`repro.analysis.audit`) replays this trail against
+the timelines to re-verify the paper's execution-time invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TransferEvent", "ExecEvent", "EvictionEvent", "AuditTrail"]
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """One committed file transfer onto a compute node.
+
+    ``kind`` is ``"remote"`` or ``"replica"``; ``push`` marks proactive
+    staging (DLL) as opposed to on-demand staging for a committed task.
+    """
+
+    seq: int
+    file_id: str
+    size_mb: float
+    kind: str
+    source_node: int | None
+    dest: int
+    start: float
+    end: float
+    push: bool = False
+
+
+@dataclass(frozen=True)
+class ExecEvent:
+    """One committed task execution with the input files it consumed."""
+
+    seq: int
+    task_id: str
+    node: int
+    files: tuple[str, ...]
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class EvictionEvent:
+    """One file dropped from a node's disk cache to make room."""
+
+    seq: int
+    node: int
+    file_id: str
+    size_mb: float
+
+
+@dataclass
+class AuditTrail:
+    """Commit-ordered event log of one runtime's whole batch execution.
+
+    ``initial_holdings`` snapshots files already cached per node (with their
+    sizes) when the runtime was created — normally empty, as the paper
+    starts all files on the storage cluster — so the auditor knows which
+    files need no transfer and what they occupy.
+    """
+
+    transfers: list[TransferEvent] = field(default_factory=list)
+    execs: list[ExecEvent] = field(default_factory=list)
+    evictions: list[EvictionEvent] = field(default_factory=list)
+    initial_holdings: dict[int, dict[str, float]] = field(default_factory=dict)
+    _seq: int = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def record_transfer(
+        self,
+        file_id: str,
+        size_mb: float,
+        kind: str,
+        source_node: int | None,
+        dest: int,
+        start: float,
+        end: float,
+        push: bool = False,
+    ) -> None:
+        self.transfers.append(
+            TransferEvent(
+                self._next_seq(), file_id, size_mb, kind, source_node,
+                dest, start, end, push,
+            )
+        )
+
+    def record_exec(
+        self, task_id: str, node: int, files: tuple[str, ...],
+        start: float, end: float,
+    ) -> None:
+        self.execs.append(
+            ExecEvent(self._next_seq(), task_id, node, files, start, end)
+        )
+
+    def record_eviction(self, node: int, file_id: str, size_mb: float) -> None:
+        self.evictions.append(
+            EvictionEvent(self._next_seq(), node, file_id, size_mb)
+        )
+
+    def in_commit_order(self) -> list[TransferEvent | ExecEvent | EvictionEvent]:
+        """All events merged back into their global commit order."""
+        merged: list[TransferEvent | ExecEvent | EvictionEvent] = [
+            *self.transfers, *self.execs, *self.evictions,
+        ]
+        merged.sort(key=lambda e: e.seq)
+        return merged

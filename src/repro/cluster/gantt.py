@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 __all__ = ["Interval", "Timeline", "Overlay", "earliest_common_slot"]
 
@@ -30,7 +30,7 @@ class Interval:
     end: float
     tag: str = field(default="", compare=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.end < self.start:
             raise ValueError(f"interval end {self.end} before start {self.start}")
 
@@ -42,7 +42,7 @@ class Interval:
 class Timeline:
     """Busy intervals of one resource, kept sorted and non-overlapping."""
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self._intervals: list[Interval] = []
         self._starts: list[float] = []
@@ -108,7 +108,7 @@ class Timeline:
         self._starts.insert(idx, iv.start)
         return iv
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"Timeline({self.name!r}, {len(self)} reservations)"
 
 
@@ -121,7 +121,7 @@ class Overlay:
     reservations onto the base timeline.
     """
 
-    def __init__(self, base: Timeline):
+    def __init__(self, base: Timeline) -> None:
         self.base = base
         self.virtual: list[Interval] = []
 
@@ -155,7 +155,7 @@ class Overlay:
         self.virtual.append(iv)
         return iv
 
-    def commit(self):
+    def commit(self) -> None:
         """Write all virtual reservations through to the base timeline."""
         for iv in self.virtual:
             self.base.reserve(iv.start, iv.duration, iv.tag)

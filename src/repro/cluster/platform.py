@@ -49,7 +49,7 @@ class ComputeNode:
     local_disk_bw: float = 200.0
     speed: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.disk_space_mb <= 0:
             raise ValueError("disk_space_mb must be positive")
         if self.local_disk_bw <= 0:
@@ -65,7 +65,7 @@ class StorageNode:
     node_id: int
     disk_bw: float = 210.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.disk_bw <= 0:
             raise ValueError("disk_bw must be positive")
 
@@ -97,7 +97,7 @@ class Platform:
     compute_cost_per_mb: float = 0.001
     name: str = "custom"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.compute_nodes:
             raise ValueError("at least one compute node required")
         if not self.storage_nodes:

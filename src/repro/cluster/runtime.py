@@ -31,11 +31,12 @@ modification" for realising the IP solution at run time.
 from __future__ import annotations
 
 import heapq
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Sequence
 
 from ..batch import Task
 from .cache import CacheFullError
+from .events import AuditTrail
 from .gantt import Overlay, Timeline, earliest_common_slot
 from .platform import Platform
 from .state import ClusterState, TransferStats
@@ -55,7 +56,7 @@ class PlannedSource:
     kind: str
     source_node: int | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in ("remote", "replica"):
             raise ValueError(f"bad source kind {self.kind!r}")
         if self.kind == "replica" and self.source_node is None:
@@ -105,7 +106,8 @@ class Runtime:
         candidate_limit: int | None = None,
         ordering: str = "ect",
         overlap_io_compute: bool = False,
-    ):
+        audit: bool = False,
+    ) -> None:
         if ordering not in ("ect", "fifo"):
             raise ValueError(f"ordering must be 'ect' or 'fifo', got {ordering!r}")
         self.platform = platform
@@ -134,6 +136,17 @@ class Runtime:
         )
         # (node, file) -> absolute time the copy becomes usable
         self._avail: dict[tuple[int, str], float] = {}
+        # Commit-ordered event log for the schedule auditor
+        # (repro.analysis.audit); None keeps the hot path allocation-free.
+        self.trail: AuditTrail | None = None
+        if audit:
+            self.trail = AuditTrail(
+                initial_holdings={
+                    n: {f: state.size_of(f) for f in state.files_on(n)}
+                    for n in range(platform.num_compute)
+                    if state.files_on(n)
+                }
+            )
 
     # -- resource helpers -------------------------------------------------------
     def _key(self, tl: Timeline) -> str:
@@ -297,8 +310,17 @@ class Runtime:
                 self.state.record_remote(size)
             else:
                 self.state.record_replication(size)
+            if self.trail is not None:
+                self.trail.record_transfer(
+                    f, size, kind, src, node, start, start + duration
+                )
         for f in tent.task.files:
             cache.touch(f, tent.ect)
+        if self.trail is not None:
+            self.trail.record_exec(
+                tent.task.task_id, node, tuple(tent.task.files),
+                tent.exec_start, tent.ect,
+            )
         return TaskRecord(
             task_id=tent.task.task_id,
             node=node,
@@ -307,20 +329,22 @@ class Runtime:
             completion=tent.ect,
         )
 
-    def _on_evict(self, node: int, file_id: str):
+    def _on_evict(self, node: int, file_id: str) -> None:
         # ensure_space has already dropped the cache entry; mirror the global
         # holder map, availability table and statistics.
+        if self.trail is not None:
+            self.trail.record_eviction(node, file_id, self.state.size_of(file_id))
         self.state.note_evicted(node, file_id)
         self._avail.pop((node, file_id), None)
 
-    def _release(self, task: Task, node: int):
+    def _release(self, task: Task, node: int) -> None:
         cache = self.state.caches[node]
         for f in task.files:
             cache.unpin(f)
 
     # -- proactive pushes (Data Least Loaded) ------------------------------------------
     def _stage_push(self, file_id: str, dest: int,
-                    victim_order: Callable[[int, Iterable[str]], list[str]]):
+                    victim_order: Callable[[int, Iterable[str]], list[str]]) -> None:
         """Proactively replicate ``file_id`` onto ``dest`` (DLL baseline)."""
         if self.state.has_file(dest, file_id):
             return
@@ -356,6 +380,10 @@ class Runtime:
             self.state.record_remote(size)
         else:
             self.state.record_replication(size)
+        if self.trail is not None:
+            self.trail.record_transfer(
+                file_id, size, kind, src, dest, start, tct, push=True
+            )
 
     # -- main loop ---------------------------------------------------------------------
     def execute(
@@ -373,8 +401,10 @@ class Runtime:
         """
         if victim_order is None:
 
-            def victim_order(node, cands):
+            def _size_ascending(node: int, cands: Iterable[str]) -> list[str]:
                 return sorted(cands, key=lambda f: self.state.size_of(f))
+
+            victim_order = _size_ascending
 
         start_time = self.clock
         for t in tasks:
@@ -424,7 +454,7 @@ class Runtime:
             tents = [self.evaluate(t, node, plan) for t in candidates(node)]
             return min(tents, key=lambda x: x.ect)
 
-        def commit_next(node: int):
+        def commit_next(node: int) -> None:
             nonlocal seq
             tent = best_of(node)
             groups[node].remove(tent.task)

@@ -29,7 +29,7 @@ class TransferStats:
     evictions: int = 0
     evicted_volume_mb: float = 0.0
 
-    def merge(self, other: "TransferStats") -> "TransferStats":
+    def merge(self, other: TransferStats) -> TransferStats:
         return TransferStats(
             self.remote_transfers + other.remote_transfers,
             self.remote_volume_mb + other.remote_volume_mb,
@@ -43,7 +43,7 @@ class TransferStats:
 class ClusterState:
     """File placement on the compute cluster plus file catalog access."""
 
-    def __init__(self, platform: Platform, files: dict[str, FileInfo]):
+    def __init__(self, platform: Platform, files: dict[str, FileInfo]) -> None:
         self.platform = platform
         self.files = dict(files)
         self.caches = [
@@ -54,11 +54,11 @@ class ClusterState:
         self.stats = TransferStats()
 
     @classmethod
-    def initial(cls, platform: Platform, batch: Batch) -> "ClusterState":
+    def initial(cls, platform: Platform, batch: Batch) -> ClusterState:
         """All files on the storage cluster only (the paper's assumption)."""
         return cls(platform, batch.files)
 
-    def register_files(self, files: dict[str, FileInfo]):
+    def register_files(self, files: dict[str, FileInfo]) -> None:
         """Add catalog entries (e.g. when running successive batches)."""
         self.files.update(files)
 
@@ -84,46 +84,46 @@ class ClusterState:
         return self.caches[node_id].files
 
     # -- mutation ---------------------------------------------------------------
-    def place(self, node_id: int, file_id: str, now: float = 0.0):
+    def place(self, node_id: int, file_id: str, now: float = 0.0) -> None:
         """Record that ``file_id`` is now cached on ``node_id``."""
         self.caches[node_id].add(file_id, self.size_of(file_id), now)
         self._holders.setdefault(file_id, set()).add(node_id)
 
-    def drop(self, node_id: int, file_id: str):
+    def drop(self, node_id: int, file_id: str) -> None:
         """Remove a cached copy (explicit eviction between sub-batches)."""
         self.caches[node_id].remove(file_id)
         self._forget_holder(node_id, file_id)
 
-    def evict(self, node_id: int, file_id: str):
+    def evict(self, node_id: int, file_id: str) -> None:
         """Drop a cached copy and record it as an eviction."""
         self.drop(node_id, file_id)
         self.record_eviction(self.size_of(file_id))
 
-    def note_evicted(self, node_id: int, file_id: str):
+    def note_evicted(self, node_id: int, file_id: str) -> None:
         """Bookkeeping after the cache itself removed a file on demand."""
         self._forget_holder(node_id, file_id)
         self.record_eviction(self.size_of(file_id))
 
-    def _forget_holder(self, node_id: int, file_id: str):
+    def _forget_holder(self, node_id: int, file_id: str) -> None:
         holders = self._holders.get(file_id)
         if holders:
             holders.discard(node_id)
             if not holders:
                 del self._holders[file_id]
 
-    def record_remote(self, size_mb: float):
+    def record_remote(self, size_mb: float) -> None:
         self.stats.remote_transfers += 1
         self.stats.remote_volume_mb += size_mb
 
-    def record_replication(self, size_mb: float):
+    def record_replication(self, size_mb: float) -> None:
         self.stats.replications += 1
         self.stats.replication_volume_mb += size_mb
 
-    def record_eviction(self, size_mb: float):
+    def record_eviction(self, size_mb: float) -> None:
         self.stats.evictions += 1
         self.stats.evicted_volume_mb += size_mb
 
-    def check_consistency(self):
+    def check_consistency(self) -> None:
         """Invariant check used by tests: holder sets match cache contents."""
         for node in self.caches:
             for f in node.files:

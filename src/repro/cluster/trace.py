@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .gantt import Timeline
     from .runtime import Runtime
 
 __all__ = ["TraceEvent", "trace_events", "render_ascii", "to_chrome_trace"]
@@ -45,9 +46,9 @@ class TraceEvent:
         return self.end - self.start
 
 
-def _resources(runtime: "Runtime"):
+def _resources(runtime: Runtime) -> list[Timeline]:
     out = list(runtime.node_tl)
-    if getattr(runtime, "cpu_tl", None):
+    if runtime.cpu_tl is not None:
         out.extend(runtime.cpu_tl)
     out.extend(runtime.storage_tl)
     if runtime.link_tl is not None:
@@ -55,7 +56,7 @@ def _resources(runtime: "Runtime"):
     return out
 
 
-def trace_events(runtime: "Runtime") -> list[TraceEvent]:
+def trace_events(runtime: Runtime) -> list[TraceEvent]:
     """All reservations across all resources, sorted by start time."""
     events = [
         TraceEvent(tl.name, iv.start, iv.end, iv.tag)
@@ -66,7 +67,7 @@ def trace_events(runtime: "Runtime") -> list[TraceEvent]:
     return events
 
 
-def render_ascii(runtime: "Runtime", width: int = 72) -> str:
+def render_ascii(runtime: Runtime, width: int = 72) -> str:
     """Terminal Gantt chart: one row per resource.
 
     ``x`` marks transfers, ``#`` executions, ``p`` pushes; ``.`` idle.
@@ -98,7 +99,7 @@ def render_ascii(runtime: "Runtime", width: int = 72) -> str:
     return "\n".join(lines)
 
 
-def to_chrome_trace(runtime: "Runtime") -> str:
+def to_chrome_trace(runtime: Runtime) -> str:
     """Chrome-tracing JSON: load in chrome://tracing or ui.perfetto.dev.
 
     Resources become thread ids; times are exported in microseconds as the

@@ -10,7 +10,7 @@ batch drains, timing the scheduler calls to measure scheduling overhead.
 from __future__ import annotations
 
 import abc
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -35,7 +35,7 @@ class Scheduler(abc.ABC):
     name: str = "abstract"
     uses_subbatches: bool = True
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self.rng = np.random.default_rng(seed)
 
@@ -57,7 +57,7 @@ class Scheduler(abc.ABC):
         """
         return PopularityPolicy.for_batch(batch)
 
-    def reset(self):
+    def reset(self) -> None:
         """Clear per-batch caches (called by the driver before a run)."""
         self.rng = np.random.default_rng(self.seed)
 
@@ -65,10 +65,10 @@ class Scheduler(abc.ABC):
 _REGISTRY: dict[str, Callable[..., Scheduler]] = {}
 
 
-def register_scheduler(name: str):
+def register_scheduler(name: str) -> Callable[[type[Scheduler]], type[Scheduler]]:
     """Class decorator registering a scheduler under ``name``."""
 
-    def wrap(cls):
+    def wrap(cls: type[Scheduler]) -> type[Scheduler]:
         cls.name = name
         _REGISTRY[name] = cls
         return cls
@@ -76,7 +76,7 @@ def register_scheduler(name: str):
     return wrap
 
 
-def make_scheduler(name: str, **kwargs) -> Scheduler:
+def make_scheduler(name: str, **kwargs: object) -> Scheduler:
     """Instantiate a registered scheduler by name."""
     try:
         cls = _REGISTRY[name]

@@ -109,7 +109,7 @@ class BiPartitionScheduler(Scheduler):
         binw_epsilon: float = 0.20,
         vertex_weight_mode: str = "estimated",
         subbatch_order: str = "chain",
-    ):
+    ) -> None:
         super().__init__(seed)
         if vertex_weight_mode not in ("estimated", "compute"):
             raise ValueError(
@@ -123,7 +123,7 @@ class BiPartitionScheduler(Scheduler):
         self.subbatch_order = subbatch_order
         self._queue: list[list[str]] | None = None
 
-    def reset(self):
+    def reset(self) -> None:
         super().reset()
         self._queue = None
 

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..batch import Batch
+from ..cluster.events import AuditTrail
 from ..cluster.platform import Platform
 from ..cluster.runtime import Runtime
 from ..cluster.state import ClusterState
@@ -43,7 +44,8 @@ def _pre_evict(
     batch: Batch,
     state: ClusterState,
     policy: EvictionPolicy,
-):
+    trail: AuditTrail | None = None,
+) -> None:
     """Between-sub-batch eviction (Section 4.3).
 
     Frees enough space on every node for the files its incoming tasks need,
@@ -58,7 +60,7 @@ def _pre_evict(
     if plan.staging is not None:
         for f, node in plan.staging.pushes:
             protect.setdefault(node, set()).add(f)
-        for (f, node), src in plan.staging.sources.items():
+        for (f, node), _src in plan.staging.sources.items():
             protect.setdefault(node, set()).add(f)
 
     for node, needed in protect.items():
@@ -81,15 +83,18 @@ def _pre_evict(
             continue
         keep = needed
 
-        def order(cands, _node=node, _keep=keep):
+        def order(
+            cands: Iterable[str], _node: int = node, _keep: set[str] = keep
+        ) -> list[str]:
             victims = [f for f in cands if f not in _keep]
             return policy.order(state, _node, victims)
 
-        cache.ensure_space(
-            incoming,
-            victim_order=order,
-            on_evict=lambda fid, _node=node: state.note_evicted(_node, fid),
-        )
+        def on_evict(fid: str, _node: int = node) -> None:
+            if trail is not None:
+                trail.record_eviction(_node, fid, state.size_of(fid))
+            state.note_evicted(_node, fid)
+
+        cache.ensure_space(incoming, victim_order=order, on_evict=on_evict)
 
 
 def run_batch(
@@ -104,6 +109,7 @@ def run_batch(
     eviction_policy: EvictionPolicy | None = None,
     ordering: str = "ect",
     overlap_io_compute: bool = False,
+    audit: bool = False,
 ) -> BatchResult:
     """Run a whole batch under one scheduler; returns the end-to-end result.
 
@@ -127,6 +133,12 @@ def run_batch(
     overlap_io_compute:
         Relax the paper's no-staging-during-execution assumption by giving
         each node a dedicated CPU timeline (future-work ablation).
+    audit:
+        Record a commit-ordered audit trail during execution and verify
+        the finished trace with :func:`repro.analysis.audit.audit_runtime`
+        (invariants E1–E5 of ``docs/invariants.md``).  The report is
+        attached as ``result.audit_report``; any violation raises
+        :class:`~repro.analysis.audit.AuditError`.
     """
     if isinstance(scheduler, str):
         scheduler = make_scheduler(scheduler, **(scheduler_kwargs or {}))
@@ -152,6 +164,7 @@ def run_batch(
         candidate_limit=candidate_limit,
         ordering=ordering,
         overlap_io_compute=overlap_io_compute,
+        audit=audit,
     )
     policy = eviction_policy if eviction_policy is not None else scheduler.eviction_policy(batch)
     pending: list[str] = [t.task_id for t in batch.tasks]
@@ -174,7 +187,7 @@ def run_batch(
         # Between-sub-batch eviction only applies to sub-batching schemes;
         # whole-batch baselines rely on on-demand eviction at runtime.
         if scheduler.uses_subbatches:
-            _pre_evict(plan, batch, state, policy)
+            _pre_evict(plan, batch, state, policy, trail=runtime.trail)
 
         tasks = [batch.task(t) for t in plan.task_ids]
         execution = runtime.execute(
@@ -194,4 +207,14 @@ def run_batch(
 
     result.makespan = runtime.clock
     result.stats = state.stats
+    if audit:
+        # Imported lazily: repro.analysis is tooling layered on top of the
+        # core scheduling/runtime packages, not a dependency of them.
+        from ..analysis.audit import audit_runtime
+
+        report = audit_runtime(
+            runtime, [sb.execution for sb in result.sub_batches]
+        )
+        result.audit_report = report
+        report.raise_if_violations()
     return result

@@ -14,7 +14,8 @@ and the between-sub-batch eviction phase of the proposed schemes.
 
 from __future__ import annotations
 
-from typing import Iterable, Protocol
+from collections.abc import Iterable
+from typing import Protocol
 
 from ..batch import Batch
 from ..cluster.state import ClusterState
@@ -43,11 +44,11 @@ class PopularityPolicy:
 
     name = "popularity"
 
-    def __init__(self, pending_counts: dict[str, int] | None = None):
+    def __init__(self, pending_counts: dict[str, int] | None = None) -> None:
         self._pending: dict[str, int] = dict(pending_counts or {})
 
     @classmethod
-    def for_batch(cls, batch: Batch) -> "PopularityPolicy":
+    def for_batch(cls, batch: Batch) -> PopularityPolicy:
         counts: dict[str, int] = {}
         for t in batch.tasks:
             for f in t.files:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any
 
 from ..batch import Batch, Task
 from ..cluster.platform import Platform
@@ -79,7 +80,7 @@ class IPScheduler(Scheduler):
         mip_rel_gap: float = 0.02,
         balance_threshold: float = 0.5,
         solver_options: dict | None = None,
-    ):
+    ) -> None:
         super().__init__(seed)
         self.solver_name = solver
         self.time_limit = time_limit
@@ -89,7 +90,7 @@ class IPScheduler(Scheduler):
         self.last_solution: Solution | None = None
 
     # -- helpers ---------------------------------------------------------------
-    def _solver(self, time_limit: float | None):
+    def _solver(self, time_limit: float | None) -> Any:
         opts = dict(self.solver_options)
         if self.solver_name == "highs":
             opts.setdefault("mip_rel_gap", self.mip_rel_gap)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..batch import Batch
+from ..batch import Batch, Task
 from ..cluster.platform import Platform
 from ..cluster.runtime import StagingPlan
 from ..cluster.state import ClusterState
@@ -46,7 +46,7 @@ class JobDataPresentScheduler(Scheduler):
 
     uses_subbatches = False
 
-    def __init__(self, seed: int = 0, popularity_threshold: int | None = None):
+    def __init__(self, seed: int = 0, popularity_threshold: int | None = None) -> None:
         super().__init__(seed)
         self.popularity_threshold = popularity_threshold
 
@@ -91,7 +91,7 @@ class JobDataPresentScheduler(Scheduler):
             placed[f].add(node)
 
         # --- Job Data Present: assign tasks in least-ECT order ----------------
-        def transfer_estimate(task, node: int) -> float:
+        def transfer_estimate(task: Task, node: int) -> float:
             est = 0.0
             for f in task.files:
                 if node in placed[f]:
@@ -105,7 +105,7 @@ class JobDataPresentScheduler(Scheduler):
                     )
             return est
 
-        def exec_estimate(task, node: int) -> float:
+        def exec_estimate(task: Task, node: int) -> float:
             read = sum(
                 platform.local_read_time(node, batch.file_size(f))
                 for f in task.files

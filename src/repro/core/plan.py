@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..cluster.runtime import StagingPlan
 from ..cluster.state import TransferStats
 from ..cluster.stats import ExecutionResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis.audit import AuditReport
 
 __all__ = ["SubBatchPlan", "SubBatchResult", "BatchResult"]
 
@@ -24,7 +28,7 @@ class SubBatchPlan:
     mapping: dict[str, int]
     staging: StagingPlan | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         missing = [t for t in self.task_ids if t not in self.mapping]
         if missing:
             raise ValueError(f"tasks without node assignment: {missing[:5]}")
@@ -48,6 +52,8 @@ class BatchResult:
     scheduling_seconds: float
     sub_batches: list[SubBatchResult] = field(default_factory=list)
     stats: TransferStats = field(default_factory=TransferStats)
+    # Filled by run_batch(audit=True): the execution-invariant audit.
+    audit_report: AuditReport | None = None
 
     @property
     def num_sub_batches(self) -> int:

@@ -10,10 +10,15 @@ Checked invariants:
 
 V1. every selected task is mapped to a valid compute node;
 V2. no task outside the sub-batch is mapped;
-V3. per-node disk capacity covers the files the node must hold (Eq. 16/21);
+V3. per-node disk capacity covers the files the node must hold (Eq. 16/21),
+    and every mapped task's files exist in the batch catalog (an unknown
+    file cannot be counted, so it is a violation, not a silent skip);
 V4. staging sources reference valid nodes and files;
-V5. a replica source either already holds the file or is itself a planned
-    destination of that file (Eq. 1, transitively);
+V5. a replica source either already holds the file or receives it through
+    a *realisable* chain of planned transfers (Eq. 1, transitively) — a
+    chain is realisable only when it terminates in a current holder, a
+    remote transfer or a push, so circular replication (A sources B while
+    B sources A) is flagged;
 V6. no (file, destination) pair has both a remote transfer and a
     replication (Eq. 5 — one planned source per destination);
 V7. planned pushes target valid nodes and known files.
@@ -26,6 +31,7 @@ from dataclasses import dataclass, field
 
 from ..batch import Batch
 from ..cluster.platform import Platform
+from ..cluster.runtime import PlannedSource
 from ..cluster.state import ClusterState
 from .plan import SubBatchPlan
 
@@ -39,7 +45,7 @@ class Violation:
     code: str
     message: str
 
-    def __str__(self):
+    def __str__(self) -> str:
         return f"[{self.code}] {self.message}"
 
 
@@ -53,10 +59,10 @@ class ValidationReport:
     def ok(self) -> bool:
         return not self.violations
 
-    def add(self, code: str, message: str):
+    def add(self, code: str, message: str) -> None:
         self.violations.append(Violation(code, message))
 
-    def raise_if_invalid(self):
+    def raise_if_invalid(self) -> None:
         if not self.ok:
             summary = "; ".join(str(v) for v in self.violations[:5])
             raise ValueError(
@@ -64,7 +70,7 @@ class ValidationReport:
                 f"{summary}"
             )
 
-    def __str__(self):
+    def __str__(self) -> str:
         return "\n".join(str(v) for v in self.violations) or "OK"
 
 
@@ -109,6 +115,13 @@ def validate_plan(
             files = batch.task(t).files
         except KeyError:
             continue
+        for f in files:
+            if f not in batch.files:
+                report.add(
+                    "V3",
+                    f"task {t} references file {f} absent from the batch "
+                    f"catalog, so node {node}'s disk demand is unknowable",
+                )
         needed.setdefault(node, set()).update(files)
     if plan.staging is not None:
         for f, node in plan.staging.pushes:
@@ -147,21 +160,50 @@ def validate_plan(
                     "V4", f"replica of {f} to {dest} sources from itself"
                 )
 
-    # V5 — replica sources are satisfiable (present now or planned).
-    planned_holders: dict[str, set[int]] = {}
+    # V5 — replica sources are satisfiable. A destination is *satisfied*
+    # when it already holds the file, receives it from the storage cluster
+    # (remote) or a push, or replicates from an already-satisfied node; the
+    # fixpoint rejects circular chains (A sources B, B sources A) that a
+    # one-step "is it some planned destination?" check would accept.
+    sources_of: dict[str, dict[int, PlannedSource]] = {}
     for (f, dest), src in plan.staging.sources.items():
-        planned_holders.setdefault(f, set()).add(dest)
-    for (f, dest), src in plan.staging.sources.items():
-        if src.kind != "replica" or src.source_node is None:
-            continue
-        has_now = state.has_file(src.source_node, f) if state else False
-        planned = src.source_node in planned_holders.get(f, set())
-        if not has_now and not planned:
-            report.add(
-                "V5",
-                f"replica of {f} to node {dest} sources node "
-                f"{src.source_node}, which neither holds nor receives it",
-            )
+        if f in batch.files and 0 <= dest < c:
+            sources_of.setdefault(f, {})[dest] = src
+    push_targets: dict[str, set[int]] = {}
+    for f, node in plan.staging.pushes:
+        if 0 <= node < c:
+            push_targets.setdefault(f, set()).add(node)
+    for f, dests in sources_of.items():
+        satisfied = {d for d, s in dests.items() if s.kind == "remote"}
+        satisfied |= push_targets.get(f, set())
+        if state is not None:
+            satisfied |= {n for n in range(c) if state.has_file(n, f)}
+        changed = True
+        while changed:
+            changed = False
+            for d, s in dests.items():
+                if (
+                    d not in satisfied
+                    and s.kind == "replica"
+                    and s.source_node in satisfied
+                ):
+                    satisfied.add(d)
+                    changed = True
+        for d, s in dests.items():
+            if (
+                s.kind == "replica"
+                and s.source_node is not None
+                and 0 <= s.source_node < c
+                and s.source_node != d
+                and d not in satisfied
+            ):
+                report.add(
+                    "V5",
+                    f"replica of {f} to node {d} sources node "
+                    f"{s.source_node}, which neither holds the file nor "
+                    "receives it through a realisable chain (circular or "
+                    "unsatisfiable replication)",
+                )
 
     # V7 — pushes.
     for f, node in plan.staging.pushes:

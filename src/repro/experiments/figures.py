@@ -18,7 +18,8 @@ process-wide defaults set by :func:`repro.parallel.configure` or the
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from .report import Table
 from .runner import ExperimentConfig, default_scheduler_kwargs
@@ -44,7 +45,7 @@ def _sweep(
     table: Table,
     cells: Sequence[tuple[ExperimentConfig, float | str | None]],
     workers: int | None,
-    cache: "ResultCache | None | bool",
+    cache: ResultCache | None | bool,
 ) -> Table:
     """Fan the sweep's cells out through ``repro.parallel`` and collect."""
     # Imported here, not at module top: repro.parallel itself imports the
@@ -68,7 +69,7 @@ def _overlap_sweep(
     seed: int,
     ip_time_limit: float,
     workers: int | None = None,
-    cache: "ResultCache | None | bool" = None,
+    cache: ResultCache | None | bool = None,
 ) -> Table:
     table = Table(
         f"{experiment}: {workload.upper()} batch execution time on "
@@ -101,7 +102,7 @@ def fig3_image_overlap(
     seed: int = 0,
     ip_time_limit: float = 60.0,
     workers: int | None = None,
-    cache: "ResultCache | None | bool" = None,
+    cache: ResultCache | None | bool = None,
 ) -> Table:
     """Figure 3: IMAGE batch execution time vs overlap level.
 
@@ -130,7 +131,7 @@ def fig4_sat_overlap(
     seed: int = 0,
     ip_time_limit: float = 60.0,
     workers: int | None = None,
-    cache: "ResultCache | None | bool" = None,
+    cache: ResultCache | None | bool = None,
 ) -> Table:
     """Figure 4: SAT batch execution time vs overlap level (as Fig. 3)."""
     return _overlap_sweep(
@@ -153,7 +154,7 @@ def fig5a_replication_benefit(
     seed: int = 0,
     ip_time_limit: float = 60.0,
     workers: int | None = None,
-    cache: "ResultCache | None | bool" = None,
+    cache: ResultCache | None | bool = None,
 ) -> Table:
     """Figure 5(a): benefit of compute-to-compute replication.
 
@@ -197,7 +198,7 @@ def fig5b_batch_size(
     seed: int = 0,
     candidate_limit: int | None = 25,
     workers: int | None = None,
-    cache: "ResultCache | None | bool" = None,
+    cache: ResultCache | None | bool = None,
 ) -> Table:
     """Figure 5(b): batch execution time vs batch size under disk pressure.
 
@@ -239,7 +240,7 @@ def fig6a_compute_scaling(
     seed: int = 0,
     candidate_limit: int | None = 25,
     workers: int | None = None,
-    cache: "ResultCache | None | bool" = None,
+    cache: ResultCache | None | bool = None,
 ) -> Table:
     """Figure 6(a): batch execution time vs number of compute nodes.
 
@@ -282,7 +283,7 @@ def fig6b_scheduling_overhead(
     seed: int = 0,
     candidate_limit: int | None = 25,
     workers: int | None = None,
-    cache: "ResultCache | None | bool" = None,
+    cache: ResultCache | None | bool = None,
 ) -> Table:
     """Figure 6(b): per-task scheduling time (ms) vs number of compute nodes.
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import io
 import time
-from typing import Callable
+from collections.abc import Callable
 
 from .figures import (
     fig3_image_overlap,

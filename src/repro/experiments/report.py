@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 __all__ = ["Record", "Table"]
 
@@ -68,11 +68,11 @@ class Table:
         sep = "-+-".join("-" * w for w in widths)
         lines = [
             self.title,
-            " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+            " | ".join(h.ljust(w) for h, w in zip(header, widths, strict=True)),
             sep,
         ]
         for r in rows:
-            lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths, strict=True)))
         return "\n".join(lines)
 
     def to_csv(self, columns: Sequence[str]) -> str:

@@ -34,6 +34,7 @@ class ExperimentConfig:
     allow_replication: bool = True
     candidate_limit: int | None = None
     scheduler_kwargs: dict = field(default_factory=dict)
+    audit: bool = False
 
     def platform(self) -> Platform:
         maker = osc_xio if self.storage == "xio" else osc_osumed
@@ -68,6 +69,7 @@ def run_config(cfg: ExperimentConfig, x: float | str | None = None) -> Record:
         allow_replication=cfg.allow_replication,
         candidate_limit=cfg.candidate_limit,
         scheduler_kwargs=kwargs,
+        audit=cfg.audit,
     )
     return Record(
         experiment=cfg.experiment,

@@ -17,7 +17,7 @@ schemes are designed for.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..cluster.platform import ComputeNode, Platform, StorageNode
 from ..core.driver import run_batch

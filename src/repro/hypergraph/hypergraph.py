@@ -19,7 +19,7 @@ weight variable for each vertex"; that variable is ``anchored_weights``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -145,7 +145,7 @@ class Hypergraph:
         return w
 
     # -- coarsening -----------------------------------------------------------
-    def contract(self, cluster_of: Sequence[int]) -> "Hypergraph":
+    def contract(self, cluster_of: Sequence[int]) -> Hypergraph:
         """Contract vertices into clusters, returning the coarse hypergraph.
 
         ``cluster_of[v]`` gives the coarse vertex id of ``v``; cluster ids

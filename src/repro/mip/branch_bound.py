@@ -83,7 +83,7 @@ class BranchBoundSolver:
         """Split two-sided rows into A_ub x <= b_ub and A_eq x = b_eq triplets."""
         ub_rows, ub_b = [], []
         eq_rows, eq_b = [], []
-        for row, lo, hi in zip(sf.a_rows, sf.row_lb, sf.row_ub):
+        for row, lo, hi in zip(sf.a_rows, sf.row_lb, sf.row_ub, strict=True):
             if lo == hi:
                 eq_rows.append(row)
                 eq_b.append(lo)

@@ -22,7 +22,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -74,7 +74,7 @@ class Var:
         self.ub = float(ub)
 
     # -- expression building -------------------------------------------------
-    def _expr(self) -> "LinExpr":
+    def _expr(self) -> LinExpr:
         return LinExpr({self.index: 1.0}, 0.0)
 
     def __add__(self, other):
@@ -131,7 +131,7 @@ class LinExpr:
 
     # -- construction helpers -----------------------------------------------
     @staticmethod
-    def from_terms(terms: Iterable[tuple[Var, float]], constant: float = 0.0) -> "LinExpr":
+    def from_terms(terms: Iterable[tuple[Var, float]], constant: float = 0.0) -> LinExpr:
         """Build an expression from ``(var, coefficient)`` pairs.
 
         Much faster than repeated ``+`` for long sums — used by the IP
@@ -143,17 +143,17 @@ class LinExpr:
             coeffs[idx] = coeffs.get(idx, 0.0) + float(coef)
         return LinExpr(coeffs, constant)
 
-    def add_term(self, var: Var, coef: float) -> "LinExpr":
+    def add_term(self, var: Var, coef: float) -> LinExpr:
         """In-place accumulate ``coef * var``; returns self for chaining."""
         self.coeffs[var.index] = self.coeffs.get(var.index, 0.0) + float(coef)
         return self
 
-    def copy(self) -> "LinExpr":
+    def copy(self) -> LinExpr:
         return LinExpr(self.coeffs, self.constant)
 
     # -- arithmetic -----------------------------------------------------------
     @staticmethod
-    def _coerce(other) -> "LinExpr":
+    def _coerce(other) -> LinExpr:
         if isinstance(other, LinExpr):
             return other
         if isinstance(other, Var):

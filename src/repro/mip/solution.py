@@ -53,7 +53,7 @@ class Solution:
     def __getitem__(self, var: Var) -> float:
         return self.value(var)
 
-    def require_solution(self) -> "Solution":
+    def require_solution(self) -> Solution:
         """Raise a typed error unless an incumbent solution exists."""
         if self.status is Status.INFEASIBLE:
             raise InfeasibleError(self.message or "model is infeasible")

@@ -47,7 +47,7 @@ def _jsonable(value):
     return value
 
 
-def config_key(cfg: "ExperimentConfig", x: float | str | None = None) -> str:
+def config_key(cfg: ExperimentConfig, x: float | str | None = None) -> str:
     """Stable content hash for one experiment cell.
 
     Includes every config field, the presentation ``x`` value (it is stored
@@ -61,7 +61,7 @@ def config_key(cfg: "ExperimentConfig", x: float | str | None = None) -> str:
         "salt": CACHE_SALT,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 @dataclass
@@ -92,7 +92,7 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, cfg: "ExperimentConfig", x: float | str | None = None) -> Record | None:
+    def get(self, cfg: ExperimentConfig, x: float | str | None = None) -> Record | None:
         """Return the cached :class:`Record` for a cell, or ``None`` on miss."""
         path = self.path_for(config_key(cfg, x))
         try:
@@ -107,7 +107,7 @@ class ResultCache:
 
     def put(
         self,
-        cfg: "ExperimentConfig",
+        cfg: ExperimentConfig,
         x: float | str | None,
         record: Record,
         elapsed_s: float = 0.0,

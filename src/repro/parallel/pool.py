@@ -18,7 +18,7 @@ import random
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -143,7 +143,7 @@ def run_cells(
 
     results: list[CellResult | None] = [None] * len(configs)
     pending: list[int] = []
-    for i, (cfg, x) in enumerate(zip(configs, xs)):
+    for i, (cfg, x) in enumerate(zip(configs, xs, strict=True)):
         hit = store.get(cfg, x) if store is not None else None
         if hit is not None:
             results[i] = CellResult(hit, 0.0, True)
@@ -162,7 +162,7 @@ def run_cells(
                 outputs = list(pool.map(_run_cell, payloads, chunksize=chunksize))
         else:
             outputs = [_run_cell(p) for p in payloads]
-        for i, (record, elapsed) in zip(pending, outputs):
+        for i, (record, elapsed) in zip(pending, outputs, strict=True):
             results[i] = CellResult(record, elapsed, False)
             if store is not None:
                 store.put(configs[i], xs[i], record, elapsed)

@@ -10,7 +10,7 @@ group, of ``|A ∩ B| / min(|A|, |B|)``.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Hashable
+from collections.abc import Callable, Hashable
 
 from ..batch import Batch
 

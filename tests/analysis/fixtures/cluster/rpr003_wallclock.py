@@ -1,0 +1,21 @@
+"""Lint fixture: wall-clock reads in a simulator module (RPR003).
+
+Lives under a ``cluster/`` directory so the path-scoped rule applies.
+"""
+
+import time
+from datetime import datetime
+
+
+def bad_wallclock_stamp():
+    return time.time()  # RPR003: wall clock in simulator code
+
+
+def bad_datetime_now():
+    return datetime.now()  # RPR003
+
+
+def good_overhead_measurement():
+    # perf_counter is the sanctioned way to measure scheduling overhead;
+    # it never feeds simulated timestamps.
+    return time.perf_counter()

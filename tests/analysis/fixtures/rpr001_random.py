@@ -1,0 +1,28 @@
+"""Lint fixture: unseeded randomness (RPR001). Never imported by tests."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def bad_global_draw():
+    return random.random()  # RPR001: module-level RNG
+
+
+def bad_unseeded_instance():
+    return random.Random()  # RPR001: no seed argument
+
+
+def bad_numpy_legacy():
+    return np.random.rand(3)  # RPR001: legacy numpy global RNG
+
+
+def bad_unseeded_generator():
+    return default_rng()  # RPR001: no seed argument
+
+
+def good_seeded(seed):
+    rng = random.Random(seed)
+    gen = default_rng(seed)
+    return rng.random() + gen.random()

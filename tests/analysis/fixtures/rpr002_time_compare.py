@@ -1,0 +1,19 @@
+"""Lint fixture: exact equality on simulated-time floats (RPR002)."""
+
+
+def bad_exact_makespan(result, expected):
+    return result.makespan == expected  # RPR002
+
+
+def bad_exec_start(record):
+    if record.exec_start != 0.0:  # RPR002
+        return True
+    return False
+
+
+def good_tolerant(result, expected, eps=1e-9):
+    return abs(result.makespan - expected) <= eps
+
+
+def good_none_check(record):
+    return record.exec_start is not None and record.start_time == None  # noqa: E711

@@ -1,0 +1,13 @@
+"""Lint fixture: mutable default arguments (RPR004)."""
+
+
+def bad_list_default(tasks=[]):  # RPR004
+    return tasks
+
+
+def bad_dict_call_default(mapping=dict()):  # RPR004
+    return mapping
+
+
+def good_none_default(tasks=None):
+    return tasks if tasks is not None else []

@@ -1,0 +1,15 @@
+"""Lint fixture: bare ``except:`` clauses (RPR005)."""
+
+
+def bad_bare_except(action):
+    try:
+        return action()
+    except:  # RPR005
+        return None
+
+
+def good_narrow_except(action):
+    try:
+        return action()
+    except ValueError:
+        return None

@@ -1,0 +1,14 @@
+"""Lint fixture: every violation here carries a ``repro: noqa`` escape."""
+
+import random
+
+
+def suppressed_draw():
+    return random.random()  # repro: noqa[RPR001]
+
+
+def suppressed_default(acc=[]):  # repro: noqa
+    try:
+        return acc
+    except:  # repro: noqa[RPR005, RPR001]
+        return None

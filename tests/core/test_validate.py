@@ -71,6 +71,31 @@ class TestDiskChecks:
         plan = SubBatchPlan(["t0", "t1"], {"t0": 0, "t1": 0})
         assert validate_plan(plan, batch, platform).ok
 
+    def test_unknown_task_file_flagged_not_dropped(self, setup):
+        """A mapped task whose file left the catalog is a V3 violation,
+        not a silent under-count of the disk-capacity sum."""
+        platform, batch = setup
+        del batch.files["b"]  # catalog drift: t0 still references b
+        plan = SubBatchPlan(["t0"], {"t0": 0})
+        report = validate_plan(plan, batch, platform)
+        violations = [v for v in report.violations if v.code == "V3"]
+        assert violations, str(report)
+        assert "b" in violations[0].message
+
+    def test_unknown_task_file_still_counts_known_files(self, setup):
+        """Known files still count toward capacity alongside the V3 report
+        for the unknown one (300 MB known > 250 MB disk)."""
+        platform, batch = setup
+        from repro.batch import Task
+
+        batch.tasks = batch.tasks + (Task("t2", ("a", "c", "ghost"), 1.0),)
+        batch._by_id["t2"] = batch.tasks[-1]
+        plan = SubBatchPlan(["t0", "t2"], {"t0": 0, "t2": 0})
+        report = validate_plan(plan, batch, platform)
+        msgs = [v.message for v in report.violations if v.code == "V3"]
+        assert any("ghost" in m for m in msgs)
+        assert any("disk" in m for m in msgs)
+
 
 class TestStagingChecks:
     def test_unknown_file_flagged(self, setup):
@@ -120,6 +145,60 @@ class TestStagingChecks:
         plan = SubBatchPlan(["t0"], {"t0": 0}, staging=staging)
         report = validate_plan(plan, batch, platform, state)
         assert not any(v.code == "V5" for v in report.violations)
+
+    def test_circular_replication_flagged(self, setup):
+        """A sources B and B sources A while neither holds the file: the
+        chain never terminates in a real copy and must be V5-flagged."""
+        platform, batch = setup
+        staging = StagingPlan(
+            sources={
+                ("a", 0): PlannedSource("replica", source_node=1),
+                ("a", 1): PlannedSource("replica", source_node=0),
+            }
+        )
+        plan = SubBatchPlan(["t0"], {"t0": 0}, staging=staging)
+        report = validate_plan(plan, batch, platform)
+        assert sum(v.code == "V5" for v in report.violations) == 2, str(report)
+
+    def test_cycle_broken_by_current_holder_ok(self, setup):
+        """The same cycle is realisable once one endpoint holds the file."""
+        platform, batch = setup
+        state = ClusterState.initial(platform, batch)
+        state.place(1, "a")
+        staging = StagingPlan(
+            sources={
+                ("a", 0): PlannedSource("replica", source_node=1),
+                ("a", 1): PlannedSource("replica", source_node=0),
+            }
+        )
+        plan = SubBatchPlan(["t0"], {"t0": 0}, staging=staging)
+        report = validate_plan(plan, batch, platform, state)
+        assert not any(v.code == "V5" for v in report.violations), str(report)
+
+    def test_chain_terminating_in_push_ok(self, setup):
+        """Replication chains may terminate in a planned push."""
+        platform, batch = setup
+        staging = StagingPlan(
+            sources={("a", 0): PlannedSource("replica", source_node=1)},
+            pushes=[("a", 1)],
+        )
+        plan = SubBatchPlan(["t0"], {"t0": 0}, staging=staging)
+        report = validate_plan(plan, batch, platform)
+        assert not any(v.code == "V5" for v in report.violations), str(report)
+
+    def test_long_chain_to_remote_ok_but_detached_cycle_flagged(self, setup):
+        """0<-1<-remote is fine; a separate 2-cycle would be flagged (here
+        the platform only has two nodes, so chain depth is the point)."""
+        platform, batch = setup
+        staging = StagingPlan(
+            sources={
+                ("a", 1): PlannedSource("remote"),
+                ("a", 0): PlannedSource("replica", source_node=1),
+            }
+        )
+        plan = SubBatchPlan(["t0"], {"t0": 0}, staging=staging)
+        report = validate_plan(plan, batch, platform)
+        assert not any(v.code == "V5" for v in report.violations), str(report)
 
     def test_bad_push_flagged(self, setup):
         platform, batch = setup
