@@ -12,6 +12,15 @@ Commands
 ``figure``
     Regenerate one of the paper's figures (fig3a, fig3b, fig4a, fig4b,
     fig5a, fig5b, fig6a, fig6b) at a chosen scale and print its table.
+``metrics``
+    Run one experiment cell with telemetry on and emit its *run manifest*
+    (config digest, versions, derived metrics, telemetry snapshot and
+    decision-log summary — see ``docs/observability.md``), validated
+    against the checked-in JSON Schema.
+``profile``
+    Run one cell with span events retained and print where the wall-clock
+    time went (top span paths); optionally write a merged Chrome trace
+    (simulated Gantt chart + wall-clock telemetry spans) for Perfetto.
 ``lint``
     Run the repo-specific static lint rules (RPR001–RPR005, see
     :mod:`repro.analysis.lint`) over source paths.
@@ -28,6 +37,8 @@ Examples
         --schemes bipartition minmin --gantt
     python -m repro figure fig4b --tasks 40 --csv fig4b.csv
     python -m repro figure fig5b --workers 4 --json fig5b.json
+    python -m repro metrics fig5b --tasks 24 --out manifest.json
+    python -m repro profile fig5b --tasks 24 --trace profile.trace.json
     python -m repro lint src/repro
     python -m repro audit --workload sat --tasks 30 --schemes minmin jdp
 """
@@ -166,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--candidate-limit", type=int, default=None)
     pr.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart of the last scheme")
     pr.add_argument("--trace", metavar="FILE", help="write a Chrome trace JSON of the last scheme")
+    pr.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write records, result-cache counters and telemetry as JSON",
+    )
     _add_parallel_args(pr, cache_default_on=False)
 
     pf = sub.add_parser("figure", help="regenerate a paper figure")
@@ -188,6 +204,38 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--csv", metavar="FILE", help="also write the table as CSV")
     pf.add_argument("--json", metavar="FILE", help="also write the records as JSON")
     _add_parallel_args(pf, cache_default_on=True)
+
+    def _add_obs_args(p: argparse.ArgumentParser):
+        p.add_argument(
+            "config",
+            help="preset name (fig3a..fig6b) or path to an ExperimentConfig "
+            "JSON file",
+        )
+        p.add_argument("--tasks", type=int, default=None, help="override batch size")
+        p.add_argument("--scheme", default=None, help="override the scheme")
+        p.add_argument("--seed", type=int, default=None, help="override the seed")
+        p.add_argument("--out", metavar="FILE", help="write the run manifest JSON")
+
+    pm = sub.add_parser(
+        "metrics",
+        help="run one cell with telemetry and emit its validated run manifest",
+    )
+    _add_obs_args(pm)
+    pm.add_argument(
+        "--ndjson", metavar="FILE", help="also write the manifest as NDJSON lines"
+    )
+
+    pp = sub.add_parser(
+        "profile",
+        help="run one cell with span events retained; print top wall-clock spans",
+    )
+    _add_obs_args(pp)
+    pp.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a merged Chrome trace (simulated Gantt + telemetry spans)",
+    )
+    pp.add_argument("--top", type=int, default=10, help="span paths to print")
 
     pl = sub.add_parser(
         "lint", help="run the repo-specific static lint rules (RPR001-RPR005)"
@@ -276,7 +324,20 @@ def _cmd_run_parallel(args) -> int:
                 scheduler_kwargs=kwargs,
             )
         )
-    records = map_configs(configs, workers=args.workers, cache=cache)
+    # With --json, record result-cache hit/miss counters (and anything else
+    # the parent process touches) through the telemetry registry.
+    from .obs.core import telemetry as tele
+
+    if args.json:
+        tele.reset()
+        tele.enable()
+    try:
+        records = map_configs(configs, workers=args.workers, cache=cache)
+    finally:
+        snapshot = tele.snapshot() if args.json else None
+        if args.json:
+            tele.disable()
+            tele.reset()
     for scheme, rec in zip(args.schemes, records, strict=True):
         print(
             f"{scheme:14s} {rec.makespan_s:9.1f}s {rec.scheduling_ms_per_task:14.2f} "
@@ -286,6 +347,26 @@ def _cmd_run_parallel(args) -> int:
         )
     if args.cache:
         print(f"\ncache: {cache.stats.summary()} in {cache.root}")
+    if args.json:
+        import json as _json
+        from dataclasses import asdict
+
+        doc = {
+            "records": [asdict(r) for r in records],
+            "cache": (
+                {
+                    "hits": cache.stats.hits,
+                    "misses": cache.stats.misses,
+                    "stores": cache.stats.stores,
+                }
+                if args.cache
+                else None
+            ),
+            "telemetry": snapshot,
+        }
+        with open(args.json, "w") as fh:
+            _json.dump(doc, fh, indent=2)
+        print(f"JSON written to {args.json}")
     return 0
 
 
@@ -300,11 +381,13 @@ def _cmd_run(args) -> int:
         or args.overlap_io
         or args.workload == "synthetic"
     )
-    if parallelisable and (args.workers > 1 or args.cache or args.clear_cache):
+    if parallelisable and (
+        args.workers > 1 or args.cache or args.clear_cache or args.json
+    ):
         return _cmd_run_parallel(args)
-    if not parallelisable and (args.workers > 1 or args.cache):
+    if not parallelisable and (args.workers > 1 or args.cache or args.json):
         print(
-            "note: --workers/--cache need generated sat/image workloads "
+            "note: --workers/--cache/--json need generated sat/image workloads "
             "without --load/--gantt/--trace/--overlap-io; running serially\n"
         )
     platform = _platform(args)
@@ -459,6 +542,176 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+# One representative cell per figure, at CI-sized defaults. ``repro
+# metrics``/``repro profile`` accept these names or a JSON config file.
+_OBS_PRESETS: dict[str, dict] = {
+    "fig3a": dict(workload="image", overlap="high", storage="osumed"),
+    "fig3b": dict(workload="image", overlap="high", storage="xio"),
+    "fig4a": dict(workload="sat", overlap="high", storage="osumed"),
+    "fig4b": dict(workload="sat", overlap="high", storage="xio"),
+    "fig5a": dict(
+        workload="image", overlap="high", storage="osumed", num_compute=8
+    ),
+    "fig5b": dict(
+        workload="image",
+        overlap="high",
+        storage="xio",
+        disk_space_mb=4000.0,
+        candidate_limit=25,
+    ),
+    "fig6a": dict(
+        workload="image", overlap="high", storage="xio",
+        num_compute=8, num_storage=8, candidate_limit=25,
+    ),
+    "fig6b": dict(
+        workload="image", overlap="high", storage="xio",
+        num_compute=8, num_storage=8, candidate_limit=25,
+    ),
+}
+
+
+def _obs_config(args) -> ExperimentConfig:
+    """Resolve the metrics/profile positional into an ExperimentConfig."""
+    name = args.config
+    if name in _OBS_PRESETS:
+        fields = dict(_OBS_PRESETS[name])
+        fields.setdefault("experiment", name)
+        fields.setdefault("num_tasks", 24)
+        fields.setdefault("scheme", "bipartition")
+    else:
+        import json as _json
+
+        try:
+            with open(name) as fh:
+                fields = _json.load(fh)
+        except OSError as exc:
+            raise SystemExit(
+                f"unknown preset {name!r} (available: "
+                f"{', '.join(sorted(_OBS_PRESETS))}) and not a readable "
+                f"config file: {exc}"
+            ) from None
+        fields.setdefault("experiment", name)
+    if args.tasks is not None:
+        fields["num_tasks"] = args.tasks
+    if args.scheme is not None:
+        fields["scheme"] = args.scheme
+    if args.seed is not None:
+        fields["seed"] = args.seed
+    fields["telemetry"] = True
+    if fields.get("disk_space_mb") in ("inf", None):
+        fields["disk_space_mb"] = math.inf
+    return ExperimentConfig(**fields)
+
+
+def _manifest_for(cfg: ExperimentConfig, result) -> dict:
+    from dataclasses import asdict
+
+    from .obs import build_manifest
+    from .parallel import config_key
+
+    return build_manifest(
+        result, config=asdict(cfg), config_digest=config_key(cfg)
+    )
+
+
+def _print_manifest_summary(manifest: dict):
+    res = manifest["result"]
+    print(
+        f"{manifest['scheme']}: makespan {res['makespan_s']:.1f}s, "
+        f"{res['tasks']} tasks in {res['sub_batches']} sub-batch(es)"
+    )
+    metrics = manifest.get("metrics") or {}
+    for key in (
+        "mean_exec_utilization",
+        "disk_hit_ratio",
+        "file_reuse_factor",
+        "replicated_fraction",
+        "evictions",
+        "conservation_residual_mb",
+    ):
+        if key in metrics:
+            value = metrics[key]
+            print(f"  {key:26s} {value:.4f}" if isinstance(value, float)
+                  else f"  {key:26s} {value}")
+    decisions = manifest.get("decisions")
+    if decisions:
+        print(
+            f"  decisions: {decisions['decisions']} "
+            f"({decisions['evaluated']} evaluated, {decisions['ties']} ties)"
+        )
+        replay = decisions.get("replay")
+        if replay:
+            print(
+                f"  estimation error: mean |e| {replay['mean_abs_error_s']:.3f}s, "
+                f"max |e| {replay['max_abs_error_s']:.3f}s, "
+                f"bias {replay['bias_s']:+.3f}s"
+            )
+
+
+def _cmd_metrics(args) -> int:
+    from .experiments.runner import run_config_result
+    from .obs import validate_manifest, write_manifest, write_ndjson
+
+    cfg = _obs_config(args)
+    result = run_config_result(cfg)
+    manifest = _manifest_for(cfg, result)
+    errors = validate_manifest(manifest)
+    _print_manifest_summary(manifest)
+    if args.out:
+        write_manifest(manifest, args.out)
+        print(f"manifest written to {args.out}")
+    if args.ndjson:
+        write_ndjson(manifest, args.ndjson)
+        print(f"NDJSON written to {args.ndjson}")
+    if errors:
+        for err in errors:
+            print(f"schema violation: {err}", file=sys.stderr)
+        return 1
+    print("manifest validates against run-manifest.schema.json")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .experiments.runner import run_config_result
+    from .obs import merged_chrome_trace, validate_manifest, write_manifest
+    from .obs.core import telemetry as tele
+
+    cfg = _obs_config(args)
+    # Retain individual span events so they can be laid out on a timeline;
+    # run_batch's own enable() keeps the flag (it only resets the data).
+    tele.reset()
+    tele.enable(keep_events=True)
+    try:
+        result = run_config_result(cfg)
+        print(f"{cfg.scheme}: makespan {result.makespan:.1f}s "
+              f"(scheduling {result.scheduling_seconds * 1000:.1f} ms wall)")
+        print(f"\n{'span path':42s} {'count':>6s} {'total':>9s} {'mean':>9s}")
+        for path, span in tele.top_spans(args.top):
+            print(
+                f"{path:42s} {span.count:6d} {span.total_s:8.3f}s "
+                f"{span.mean_s * 1000:7.2f}ms"
+            )
+        if args.trace:
+            assert result.runtime is not None
+            with open(args.trace, "w") as fh:
+                fh.write(merged_chrome_trace(result.runtime, tele))
+            print(f"\nmerged Chrome trace written to {args.trace}")
+        if args.out:
+            manifest = _manifest_for(cfg, result)
+            errors = validate_manifest(manifest)
+            write_manifest(manifest, args.out)
+            print(f"manifest written to {args.out}")
+            if errors:
+                for err in errors:
+                    print(f"schema violation: {err}", file=sys.stderr)
+                return 1
+    finally:
+        tele.disable()
+        tele.keep_events = False
+        tele.reset()
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .analysis.lint import iter_rules, lint_paths
 
@@ -515,6 +768,8 @@ def main(argv: list[str] | None = None) -> int:
         "workload": _cmd_workload,
         "run": _cmd_run,
         "figure": _cmd_figure,
+        "metrics": _cmd_metrics,
+        "profile": _cmd_profile,
         "lint": _cmd_lint,
         "audit": _cmd_audit,
     }

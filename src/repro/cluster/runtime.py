@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import heapq
 from collections.abc import Callable, Iterable, Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..batch import Task
 from .cache import CacheFullError
@@ -284,11 +284,13 @@ class Runtime:
         cache = self.state.caches[node]
 
         # Pin the already-present inputs first so on-demand eviction cannot
-        # take files this task is about to use.
+        # take files this task is about to use. Each such input is an access
+        # served by the disk cache rather than a transfer.
         incoming_ids = {f for f, *_ in tent.transfers}
         for f in tent.task.files:
             if f not in incoming_ids:
                 cache.pin(f)
+                self.state.record_cache_hit(self.state.size_of(f))
 
         # Make room for the incoming files, evicting per policy.
         needed = sum(self.state.size_of(f) for f in incoming_ids)
@@ -422,14 +424,7 @@ class Runtime:
         for t in tasks:
             groups.setdefault(mapping[t.task_id], []).append(t)
 
-        base_stats = TransferStats(
-            self.state.stats.remote_transfers,
-            self.state.stats.remote_volume_mb,
-            self.state.stats.replications,
-            self.state.stats.replication_volume_mb,
-            self.state.stats.evictions,
-            self.state.stats.evicted_volume_mb,
-        )
+        base_stats = replace(self.state.stats)
 
         records: list[TaskRecord] = []
         events: list[tuple[float, int, int, Task]] = []  # (ect, seq, node, task)
@@ -497,6 +492,8 @@ class Runtime:
             - base_stats.replication_volume_mb,
             self.state.stats.evictions - base_stats.evictions,
             self.state.stats.evicted_volume_mb - base_stats.evicted_volume_mb,
+            self.state.stats.cache_hits - base_stats.cache_hits,
+            self.state.stats.cache_hit_volume_mb - base_stats.cache_hit_volume_mb,
         )
         return ExecutionResult(
             start_time=start_time,

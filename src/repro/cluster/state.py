@@ -20,7 +20,16 @@ __all__ = ["TransferStats", "ClusterState"]
 
 @dataclass
 class TransferStats:
-    """Aggregate transfer/eviction counters across a run."""
+    """Aggregate transfer/cache/eviction accounting across a run.
+
+    Counts *and* bytes for every way a task input can be satisfied: a
+    remote transfer from the storage cluster, a compute-to-compute
+    replication, or a disk-cache hit (the file was already resident where
+    the task ran). Evictions record what left the caches, so staged bytes
+    are conserved: ``remote + replication = resident + evicted`` for a run
+    that started with empty compute disks (checked by
+    :func:`repro.obs.metrics.conservation_residual_mb`).
+    """
 
     remote_transfers: int = 0
     remote_volume_mb: float = 0.0
@@ -28,6 +37,8 @@ class TransferStats:
     replication_volume_mb: float = 0.0
     evictions: int = 0
     evicted_volume_mb: float = 0.0
+    cache_hits: int = 0
+    cache_hit_volume_mb: float = 0.0
 
     def merge(self, other: TransferStats) -> TransferStats:
         return TransferStats(
@@ -37,6 +48,8 @@ class TransferStats:
             self.replication_volume_mb + other.replication_volume_mb,
             self.evictions + other.evictions,
             self.evicted_volume_mb + other.evicted_volume_mb,
+            self.cache_hits + other.cache_hits,
+            self.cache_hit_volume_mb + other.cache_hit_volume_mb,
         )
 
 
@@ -122,6 +135,11 @@ class ClusterState:
     def record_eviction(self, size_mb: float) -> None:
         self.stats.evictions += 1
         self.stats.evicted_volume_mb += size_mb
+
+    def record_cache_hit(self, size_mb: float) -> None:
+        """A task input served from the local disk cache (no transfer)."""
+        self.stats.cache_hits += 1
+        self.stats.cache_hit_volume_mb += size_mb
 
     def check_consistency(self) -> None:
         """Invariant check used by tests: holder sets match cache contents."""

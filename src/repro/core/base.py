@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -19,6 +20,9 @@ from ..cluster.platform import Platform
 from ..cluster.state import ClusterState
 from .eviction import EvictionPolicy, PopularityPolicy
 from .plan import SubBatchPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.decisions import DecisionLog
 
 __all__ = ["Scheduler", "register_scheduler", "make_scheduler", "available_schedulers"]
 
@@ -38,6 +42,9 @@ class Scheduler(abc.ABC):
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self.rng = np.random.default_rng(seed)
+        # Populated by schedulers that emit per-placement decision records
+        # (the MCT family) while repro.obs telemetry is enabled.
+        self.decision_log: DecisionLog | None = None
 
     @abc.abstractmethod
     def next_subbatch(
@@ -60,6 +67,7 @@ class Scheduler(abc.ABC):
     def reset(self) -> None:
         """Clear per-batch caches (called by the driver before a run)."""
         self.rng = np.random.default_rng(self.seed)
+        self.decision_log = None
 
 
 _REGISTRY: dict[str, Callable[..., Scheduler]] = {}

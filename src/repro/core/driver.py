@@ -24,6 +24,7 @@ from ..cluster.events import AuditTrail
 from ..cluster.platform import Platform
 from ..cluster.runtime import Runtime
 from ..cluster.state import ClusterState
+from ..obs.core import telemetry as tele
 from .base import Scheduler, make_scheduler
 from .eviction import EvictionPolicy
 from .plan import BatchResult, SubBatchPlan, SubBatchResult
@@ -110,6 +111,7 @@ def run_batch(
     ordering: str = "ect",
     overlap_io_compute: bool = False,
     audit: bool = False,
+    telemetry: bool = False,
 ) -> BatchResult:
     """Run a whole batch under one scheduler; returns the end-to-end result.
 
@@ -139,10 +141,57 @@ def run_batch(
         (invariants E1–E5 of ``docs/invariants.md``).  The report is
         attached as ``result.audit_report``; any violation raises
         :class:`~repro.analysis.audit.AuditError`.
+    telemetry:
+        Collect run telemetry (:mod:`repro.obs`): enables the process-wide
+        registry for the duration of the run, replays the scheduler's
+        decision log (when the scheme emits one) against the executed task
+        records, and attaches ``result.metrics`` (derived resource metrics,
+        Eqs. 9–13), ``result.decision_log``, ``result.telemetry`` (the
+        counters/gauges/spans snapshot) and ``result.runtime`` (for trace
+        export). Scalar metrics are also published as ``metrics/*`` gauges
+        so parallel workers' per-cell snapshots carry them.
     """
     if isinstance(scheduler, str):
         scheduler = make_scheduler(scheduler, **(scheduler_kwargs or {}))
     scheduler.reset()
+
+    was_enabled = tele.enabled
+    if telemetry:
+        tele.reset()
+        tele.enable()
+    try:
+        return _run_batch_inner(
+            batch,
+            platform,
+            scheduler,
+            allow_replication=allow_replication,
+            candidate_limit=candidate_limit,
+            max_subbatches=max_subbatches,
+            eviction_policy=eviction_policy,
+            ordering=ordering,
+            overlap_io_compute=overlap_io_compute,
+            audit=audit,
+            telemetry=telemetry,
+        )
+    finally:
+        if telemetry and not was_enabled:
+            tele.disable()
+
+
+def _run_batch_inner(
+    batch: Batch,
+    platform: Platform,
+    scheduler: Scheduler,
+    *,
+    allow_replication: bool,
+    candidate_limit: int | None,
+    max_subbatches: int | None,
+    eviction_policy: EvictionPolicy | None,
+    ordering: str,
+    overlap_io_compute: bool,
+    audit: bool,
+    telemetry: bool,
+) -> BatchResult:
 
     # The paper assumes every single task's files fit on a compute node
     # (Section 4.2); fail fast with a clear message when violated.
@@ -170,43 +219,62 @@ def run_batch(
     pending: list[str] = [t.task_id for t in batch.tasks]
     result = BatchResult(scheduler=scheduler.name, makespan=0.0, scheduling_seconds=0.0)
 
-    while pending:
-        if max_subbatches is not None and len(result.sub_batches) >= max_subbatches:
-            raise RuntimeError(
-                f"exceeded max_subbatches={max_subbatches} with "
-                f"{len(pending)} tasks still pending"
+    with tele.span("driver"):
+        while pending:
+            if max_subbatches is not None and len(result.sub_batches) >= max_subbatches:
+                raise RuntimeError(
+                    f"exceeded max_subbatches={max_subbatches} with "
+                    f"{len(pending)} tasks still pending"
+                )
+            policy.update_pending(_pending_counts(batch, pending))
+
+            t0 = time.perf_counter()
+            with tele.span("schedule"):
+                plan = scheduler.next_subbatch(batch, pending, platform, state)
+            sched_seconds = time.perf_counter() - t0
+            if not plan.task_ids:
+                raise RuntimeError(f"scheduler {scheduler.name} made no progress")
+
+            # Between-sub-batch eviction only applies to sub-batching schemes;
+            # whole-batch baselines rely on on-demand eviction at runtime.
+            if scheduler.uses_subbatches:
+                with tele.span("pre-evict"):
+                    _pre_evict(plan, batch, state, policy, trail=runtime.trail)
+
+            tasks = [batch.task(t) for t in plan.task_ids]
+            with tele.span("execute"):
+                execution = runtime.execute(
+                    tasks,
+                    plan.mapping,
+                    plan.staging,
+                    victim_order=lambda node, cands: policy.order(state, node, cands),
+                )
+            result.sub_batches.append(
+                SubBatchResult(
+                    plan=plan, execution=execution, scheduling_seconds=sched_seconds
+                )
             )
-        policy.update_pending(_pending_counts(batch, pending))
-
-        t0 = time.perf_counter()
-        plan = scheduler.next_subbatch(batch, pending, platform, state)
-        sched_seconds = time.perf_counter() - t0
-        if not plan.task_ids:
-            raise RuntimeError(f"scheduler {scheduler.name} made no progress")
-
-        # Between-sub-batch eviction only applies to sub-batching schemes;
-        # whole-batch baselines rely on on-demand eviction at runtime.
-        if scheduler.uses_subbatches:
-            _pre_evict(plan, batch, state, policy, trail=runtime.trail)
-
-        tasks = [batch.task(t) for t in plan.task_ids]
-        execution = runtime.execute(
-            tasks,
-            plan.mapping,
-            plan.staging,
-            victim_order=lambda node, cands: policy.order(state, node, cands),
-        )
-        result.sub_batches.append(
-            SubBatchResult(
-                plan=plan, execution=execution, scheduling_seconds=sched_seconds
-            )
-        )
-        result.scheduling_seconds += sched_seconds
-        done = set(plan.task_ids)
-        pending = [t for t in pending if t not in done]
+            result.scheduling_seconds += sched_seconds
+            tele.count("driver/sub_batches")
+            tele.count("driver/tasks", len(plan.task_ids))
+            done = set(plan.task_ids)
+            pending = [t for t in pending if t not in done]
 
     result.makespan = runtime.clock
     result.stats = state.stats
+    if telemetry:
+        from ..obs.metrics import compute_metrics
+
+        records = [r for sb in result.sub_batches for r in sb.execution.records]
+        decisions = scheduler.decision_log
+        metrics = compute_metrics(runtime, records, decisions)
+        for key, value in metrics.to_dict().items():
+            if isinstance(value, (int, float)):
+                tele.gauge(f"metrics/{key}", float(value))
+        result.metrics = metrics
+        result.decision_log = decisions
+        result.telemetry = tele.snapshot()
+        result.runtime = runtime
     if audit:
         # Imported lazily: repro.analysis is tooling layered on top of the
         # core scheduling/runtime packages, not a dependency of them.

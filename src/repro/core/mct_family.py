@@ -32,6 +32,8 @@ __all__ = ["MaxMinScheduler", "SufferageScheduler"]
 class MaxMinScheduler(MinMinScheduler):
     """MaxMin: commit the task with the *largest* best completion time."""
 
+    pick_rule = "max-of-min-mct"
+
     def _pick(self, mct: np.ndarray) -> tuple[int, int]:
         best_per_task = mct.min(axis=1)
         rows = np.flatnonzero(np.isfinite(best_per_task))
@@ -42,6 +44,8 @@ class MaxMinScheduler(MinMinScheduler):
 @register_scheduler("sufferage")
 class SufferageScheduler(MinMinScheduler):
     """Sufferage: commit the task with the largest best/second-best gap."""
+
+    pick_rule = "max-sufferage"
 
     def _pick(self, mct: np.ndarray) -> tuple[int, int]:
         rows = np.flatnonzero(np.isfinite(mct.min(axis=1)))

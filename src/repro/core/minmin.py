@@ -26,10 +26,15 @@ import numpy as np
 from ..batch import Batch
 from ..cluster.platform import Platform
 from ..cluster.state import ClusterState
+from ..obs.core import telemetry
+from ..obs.decisions import DecisionLog
 from .base import Scheduler, register_scheduler
 from .plan import SubBatchPlan
 
 __all__ = ["MinMinScheduler"]
+
+#: Candidates within this absolute MCT distance of the winner count as ties.
+_TIE_TOL = 1e-9
 
 
 @register_scheduler("minmin")
@@ -42,6 +47,8 @@ class MinMinScheduler(Scheduler):
     """
 
     uses_subbatches = False
+    #: Selection-rule label recorded on each Decision while telemetry is on.
+    pick_rule = "global-min-mct"
 
     def _pick(self, mct: np.ndarray) -> tuple[int, int]:
         """Choose (task row, node column) from the MCT matrix.
@@ -59,7 +66,8 @@ class MinMinScheduler(Scheduler):
         platform: Platform,
         state: ClusterState,
     ) -> SubBatchPlan:
-        mapping = self._map(batch, pending, platform, state)
+        with telemetry.span("map"):
+            mapping = self._map(batch, pending, platform, state)
         return SubBatchPlan(task_ids=list(pending), mapping=mapping, staging=None)
 
     # -- mapping ------------------------------------------------------------------
@@ -122,12 +130,32 @@ class MinMinScheduler(Scheduler):
             for f in fs.tolist():
                 readers.setdefault(f, []).append(k)
 
+        log: DecisionLog | None = None
+        if telemetry.enabled:
+            if self.decision_log is None:
+                self.decision_log = DecisionLog(scheme=self.name)
+            log = self.decision_log
+
         for _ in range(n):
             mct = stage + ready + fixed  # (n, c)
             mct[~unscheduled, :] = np.inf
             k, i = self._pick(mct)
             k, i = int(k), int(i)
             mapping[tasks[k].task_id] = i
+            if log is not None:
+                finite = np.isfinite(mct)
+                evaluated = int(finite.sum())
+                ties = int((np.abs(mct[finite] - mct[k, i]) <= _TIE_TOL).sum()) - 1
+                log.record(
+                    tasks[k].task_id,
+                    i,
+                    reason=self.pick_rule,
+                    estimated_completion=float(mct[k, i]),
+                    evaluated=evaluated,
+                    ties=max(ties, 0),
+                )
+                telemetry.count("scheduler/evaluations", evaluated)
+                telemetry.count("scheduler/decisions")
             ready[i] = mct[k, i]
             unscheduled[k] = False
 

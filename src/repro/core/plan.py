@@ -10,7 +10,12 @@ from ..cluster.state import TransferStats
 from ..cluster.stats import ExecutionResult
 
 if TYPE_CHECKING:  # pragma: no cover
+    from typing import Any
+
     from ..analysis.audit import AuditReport
+    from ..cluster.runtime import Runtime
+    from ..obs.decisions import DecisionLog
+    from ..obs.metrics import RunMetrics
 
 __all__ = ["SubBatchPlan", "SubBatchResult", "BatchResult"]
 
@@ -54,6 +59,14 @@ class BatchResult:
     stats: TransferStats = field(default_factory=TransferStats)
     # Filled by run_batch(audit=True): the execution-invariant audit.
     audit_report: AuditReport | None = None
+    # Filled by run_batch(telemetry=True): the derived resource metrics
+    # (repro.obs.metrics), the scheduler decision log when the scheme emits
+    # one, the telemetry registry snapshot, and the executed runtime (for
+    # trace export / further post-hoc analysis).
+    metrics: RunMetrics | None = None
+    decision_log: DecisionLog | None = None
+    telemetry: dict[str, Any] | None = None
+    runtime: Runtime | None = None
 
     @property
     def num_sub_batches(self) -> int:

@@ -10,12 +10,18 @@ from .figures import (
 )
 from .markdown import generate_experiments_markdown
 from .report import Record, Table
-from .runner import ExperimentConfig, default_scheduler_kwargs, run_config
+from .runner import (
+    ExperimentConfig,
+    default_scheduler_kwargs,
+    run_config,
+    run_config_result,
+)
 from .sensitivity import replication_advantage_sweep
 
 __all__ = [
     "ExperimentConfig",
     "run_config",
+    "run_config_result",
     "default_scheduler_kwargs",
     "Record",
     "Table",

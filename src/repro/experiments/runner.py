@@ -12,7 +12,12 @@ from ..core.plan import BatchResult
 from ..workloads import generate_image_batch, generate_sat_batch
 from .report import Record
 
-__all__ = ["ExperimentConfig", "run_config", "default_scheduler_kwargs"]
+__all__ = [
+    "ExperimentConfig",
+    "default_scheduler_kwargs",
+    "run_config",
+    "run_config_result",
+]
 
 GB = 1000.0  # MB per GB (decimal, as storage vendors and the paper use)
 
@@ -35,6 +40,9 @@ class ExperimentConfig:
     candidate_limit: int | None = None
     scheduler_kwargs: dict = field(default_factory=dict)
     audit: bool = False
+    # Collect run telemetry/metrics (repro.obs). Non-semantic: does not
+    # change the simulated result, and is excluded from the result-cache key.
+    telemetry: bool = False
 
     def platform(self) -> Platform:
         maker = osc_xio if self.storage == "xio" else osc_osumed
@@ -56,13 +64,18 @@ def default_scheduler_kwargs(scheme: str, time_limit: float = 30.0) -> dict:
     return {}
 
 
-def run_config(cfg: ExperimentConfig, x: float | str | None = None) -> Record:
-    """Execute one experiment cell and summarise it as a :class:`Record`."""
+def run_config_result(cfg: ExperimentConfig) -> BatchResult:
+    """Execute one experiment cell, returning the full :class:`BatchResult`.
+
+    Used by consumers that need more than the :class:`Record` summary —
+    notably the ``repro metrics``/``repro profile`` commands, which read the
+    telemetry attachments ``run_batch(telemetry=True)`` leaves on the result.
+    """
     platform = cfg.platform()
     batch = cfg.batch()
     kwargs = dict(default_scheduler_kwargs(cfg.scheme))
     kwargs.update(cfg.scheduler_kwargs)
-    result: BatchResult = run_batch(
+    return run_batch(
         batch,
         platform,
         cfg.scheme,
@@ -70,7 +83,13 @@ def run_config(cfg: ExperimentConfig, x: float | str | None = None) -> Record:
         candidate_limit=cfg.candidate_limit,
         scheduler_kwargs=kwargs,
         audit=cfg.audit,
+        telemetry=cfg.telemetry,
     )
+
+
+def run_config(cfg: ExperimentConfig, x: float | str | None = None) -> Record:
+    """Execute one experiment cell and summarise it as a :class:`Record`."""
+    result: BatchResult = run_config_result(cfg)
     return Record(
         experiment=cfg.experiment,
         workload=cfg.workload,

@@ -12,8 +12,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.core import telemetry
 from .bisect import multilevel_bisect
 from .hypergraph import Hypergraph
+from .metrics import cut_weight
 
 __all__ = ["kway_partition"]
 
@@ -43,20 +45,23 @@ def kway_partition(
     depth = int(np.ceil(np.log2(k)))
     eps_level = (1.0 + epsilon) ** (1.0 / depth) - 1.0
 
-    def _recurse(sub: Hypergraph, global_ids: np.ndarray, k_sub: int, base: int):
+    def _recurse(
+        sub: Hypergraph, global_ids: np.ndarray, k_sub: int, base: int, level: int
+    ) -> None:
         if k_sub == 1 or sub.num_vertices == 0:
             parts[global_ids] = base
             return
         k0 = (k_sub + 1) // 2
         frac0 = k0 / k_sub
-        bis = multilevel_bisect(
-            sub,
-            rng,
-            target0_fraction=frac0,
-            epsilon=eps_level,
-            coarsen_to=coarsen_to,
-            initial_tries=initial_tries,
-        )
+        with telemetry.span("bisect"):
+            bis = multilevel_bisect(
+                sub,
+                rng,
+                target0_fraction=frac0,
+                epsilon=eps_level,
+                coarsen_to=coarsen_to,
+                initial_tries=initial_tries,
+            )
         side0 = np.flatnonzero(bis == 0)
         side1 = np.flatnonzero(bis == 1)
         # Degenerate bisection (all vertices on one side): split arbitrarily
@@ -65,10 +70,21 @@ def kway_partition(
             order = np.argsort(-sub.vertex_weights)
             half = max(1, len(order) * k0 // k_sub)
             side0, side1 = order[:half], order[half:]
+        if telemetry.enabled:
+            # With net splitting, summing per-bisection cut weights over the
+            # recursion gives the final connectivity-1 cost, so these
+            # counters decompose the K-way cut by recursion level.
+            split = np.zeros(sub.num_vertices, dtype=int)
+            split[side1] = 1
+            cut = cut_weight(sub, split)
+            telemetry.count("hypergraph/bisections")
+            telemetry.count("hypergraph/cut_weight", cut)
+            telemetry.count(f"hypergraph/level{level}/cut_weight", cut)
         sub0, ids0 = sub.sub_hypergraph(side0)
         sub1, ids1 = sub.sub_hypergraph(side1)
-        _recurse(sub0, global_ids[ids0], k0, base)
-        _recurse(sub1, global_ids[ids1], k_sub - k0, base + k0)
+        _recurse(sub0, global_ids[ids0], k0, base, level + 1)
+        _recurse(sub1, global_ids[ids1], k_sub - k0, base + k0, level + 1)
 
-    _recurse(h, np.arange(h.num_vertices), k, 0)
+    with telemetry.span("kway-partition"):
+        _recurse(h, np.arange(h.num_vertices), k, 0, 0)
     return parts

@@ -20,6 +20,7 @@ import heapq
 
 import numpy as np
 
+from ..obs.core import telemetry
 from .hypergraph import Hypergraph
 from .metrics import cut_weight
 
@@ -138,6 +139,14 @@ def fm_refine(
         # Roll back to the best feasible prefix of this pass.
         for v in moves[pass_best_prefix:]:
             parts[v] = 1 - parts[v]
+
+        if telemetry.enabled:
+            telemetry.count("hypergraph/fm/passes")
+            telemetry.count("hypergraph/fm/moves", pass_best_prefix)
+            if np.isfinite(pass_best_cut) and np.isfinite(best_cut):
+                telemetry.count(
+                    "hypergraph/fm/gain", max(best_cut - pass_best_cut, 0.0)
+                )
 
         if pass_best_cut < best_cut - 1e-12:
             best_cut = pass_best_cut

@@ -29,6 +29,8 @@ import time
 import numpy as np
 from scipy import optimize, sparse
 
+from ..obs.core import telemetry
+from .highs import record_solve
 from .model import Model, StandardForm
 from .solution import Solution, Status
 
@@ -139,6 +141,12 @@ class BranchBoundSolver:
 
     # -- main loop ---------------------------------------------------------------
     def solve(self, model: Model) -> Solution:
+        with telemetry.span("mip-solve"):
+            solution = self._solve(model)
+        record_solve(self.name, solution)
+        return solution
+
+    def _solve(self, model: Model) -> Solution:
         start = time.perf_counter()
         if self.presolve:
             from .presolve import presolve as run_presolve

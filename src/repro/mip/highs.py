@@ -11,10 +11,20 @@ import time
 
 from scipy import optimize, sparse
 
+from ..obs.core import telemetry
 from .model import Model
 from .solution import Solution, Status
 
 __all__ = ["HighsSolver", "solve_with_highs"]
+
+
+def record_solve(backend: str, solution: Solution) -> None:
+    """Report one MILP solve to the telemetry registry (no-op when off)."""
+    telemetry.count("mip/solves")
+    telemetry.count(f"mip/{backend}/solves")
+    telemetry.count("mip/nodes", float(solution.nodes_explored))
+    if solution.gap is not None:
+        telemetry.gauge("mip/gap", float(solution.gap))
 
 
 class HighsSolver:
@@ -36,6 +46,12 @@ class HighsSolver:
         self.mip_rel_gap = mip_rel_gap
 
     def solve(self, model: Model) -> Solution:
+        with telemetry.span("mip-solve"):
+            solution = self._solve(model)
+        record_solve(self.name, solution)
+        return solution
+
+    def _solve(self, model: Model) -> Solution:
         sf = model.to_standard_form()
         start = time.perf_counter()
         if sf.num_vars == 0:

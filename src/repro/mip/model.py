@@ -26,6 +26,7 @@ from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from ..obs.core import telemetry
 from .errors import ModelError
 
 __all__ = [
@@ -347,6 +348,7 @@ class Model:
             self.sense = sense
 
     # -- lowering ------------------------------------------------------------------
+    @telemetry.timed("mip-lower")
     def to_standard_form(self) -> StandardForm:
         """Lower to minimization matrix form consumed by the backends."""
         n = len(self.variables)

@@ -1,0 +1,156 @@
+"""Scheduler decision log: one structured record per task placement.
+
+The MCT-family schedulers (MinMin / MaxMin / Sufferage,
+:mod:`repro.core.minmin` and :mod:`repro.core.mct_family`) commit one
+(task, node) pair per iteration based on an *estimated* completion time
+computed without simulating port contention. When :data:`repro.obs.telemetry`
+is enabled they emit one :class:`Decision` per placement here, capturing
+the estimate, how many candidate pairs were evaluated, and how many
+candidates tied with the winner.
+
+After the runtime executes the mapping, the log can be *replayed* against
+the executed :class:`~repro.cluster.stats.TaskRecord`\\ s
+(:meth:`DecisionLog.replay`) to quantify the scheduler's estimation error —
+the gap between the MCT model (Eqs. 9–11 of the paper) and the Section 6
+execution engine's realized completion times. For a single compute node
+with unlimited disk the two models coincide and the error is zero up to
+float round-off (asserted in ``tests/obs/test_decisions.py``); contention
+and eviction make the estimates optimistic at scale.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..cluster.stats import TaskRecord
+
+__all__ = ["Decision", "DecisionLog", "DecisionReplay", "ReplayedDecision"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One committed task placement and the estimate that justified it."""
+
+    task_id: str
+    node: int
+    scheme: str
+    reason: str  # the selection rule, e.g. "global-min-mct"
+    estimated_completion: float  # simulated seconds from batch start
+    evaluated: int  # candidate (task, node) pairs scanned for this pick
+    ties: int  # other candidates within tolerance of the winning value
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "task_id": self.task_id,
+            "node": self.node,
+            "scheme": self.scheme,
+            "reason": self.reason,
+            "estimated_completion": self.estimated_completion,
+            "evaluated": self.evaluated,
+            "ties": self.ties,
+        }
+
+
+@dataclass(frozen=True)
+class ReplayedDecision:
+    """A decision matched with the realized execution of its task."""
+
+    decision: Decision
+    realized_completion: float
+
+    @property
+    def error_s(self) -> float:
+        """Realized minus estimated completion (positive = optimistic)."""
+        return self.realized_completion - self.decision.estimated_completion
+
+
+@dataclass
+class DecisionReplay:
+    """Estimation-error report from replaying a log against task records."""
+
+    matched: list[ReplayedDecision] = field(default_factory=list)
+    unmatched: list[str] = field(default_factory=list)  # task ids without records
+
+    @property
+    def mean_abs_error_s(self) -> float:
+        if not self.matched:
+            return 0.0
+        return sum(abs(m.error_s) for m in self.matched) / len(self.matched)
+
+    @property
+    def max_abs_error_s(self) -> float:
+        return max((abs(m.error_s) for m in self.matched), default=0.0)
+
+    @property
+    def bias_s(self) -> float:
+        """Mean signed error (positive = estimates were optimistic)."""
+        if not self.matched:
+            return 0.0
+        return sum(m.error_s for m in self.matched) / len(self.matched)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "decisions": len(self.matched) + len(self.unmatched),
+            "matched": len(self.matched),
+            "unmatched": len(self.unmatched),
+            "mean_abs_error_s": self.mean_abs_error_s,
+            "max_abs_error_s": self.max_abs_error_s,
+            "bias_s": self.bias_s,
+        }
+
+
+@dataclass
+class DecisionLog:
+    """Append-only log of one scheduler run's placement decisions."""
+
+    scheme: str = ""
+    decisions: list[Decision] = field(default_factory=list)
+
+    def record(
+        self,
+        task_id: str,
+        node: int,
+        reason: str,
+        estimated_completion: float,
+        evaluated: int = 0,
+        ties: int = 0,
+    ) -> None:
+        self.decisions.append(
+            Decision(
+                task_id=task_id,
+                node=node,
+                scheme=self.scheme,
+                reason=reason,
+                estimated_completion=estimated_completion,
+                evaluated=evaluated,
+                ties=ties,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def replay(self, records: Iterable[TaskRecord]) -> DecisionReplay:
+        """Match decisions to executed records and report estimation error."""
+        realized = {r.task_id: r.completion for r in records}
+        report = DecisionReplay()
+        for d in self.decisions:
+            if d.task_id in realized:
+                report.matched.append(ReplayedDecision(d, realized[d.task_id]))
+            else:
+                report.unmatched.append(d.task_id)
+        return report
+
+    def summary(self, records: Iterable[TaskRecord] | None = None) -> dict[str, Any]:
+        """JSON-ready summary; includes replay stats when records are given."""
+        doc: dict[str, Any] = {
+            "scheme": self.scheme,
+            "decisions": len(self.decisions),
+            "evaluated": sum(d.evaluated for d in self.decisions),
+            "ties": sum(d.ties for d in self.decisions),
+        }
+        if records is not None:
+            doc["replay"] = self.replay(records).summary()
+        return doc

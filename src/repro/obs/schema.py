@@ -1,0 +1,96 @@
+"""A minimal, dependency-free JSON Schema validator.
+
+The run manifest (:mod:`repro.obs.export`) ships with a checked-in JSON
+Schema (``run-manifest.schema.json``) so external consumers can validate
+the artifact with any standards-compliant validator. This module implements
+the small subset of JSON Schema the manifest schema actually uses — enough
+for the CLI and CI to self-validate without adding a ``jsonschema``
+dependency to the otherwise numpy/scipy-only environment:
+
+``type`` (including union lists), ``properties``, ``required``,
+``additionalProperties`` (boolean or sub-schema), ``items``, ``enum``,
+``const``, ``minimum`` and ``maximum``.
+
+:func:`validate` returns a list of human-readable error strings (empty when
+the instance conforms), each prefixed with a JSON-pointer-ish path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["SchemaError", "validate", "check"]
+
+
+class SchemaError(ValueError):
+    """Raised by :func:`check` when an instance violates its schema."""
+
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _type_ok(value: Any, expected: str | list[str]) -> bool:
+    names = [expected] if isinstance(expected, str) else list(expected)
+    return any(_TYPE_CHECKS.get(n, lambda _v: False)(value) for n in names)
+
+
+def validate(instance: Any, schema: dict[str, Any], path: str = "$") -> list[str]:
+    """Validate ``instance`` against ``schema``; returns error messages."""
+    errors: list[str] = []
+
+    expected = schema.get("type")
+    if expected is not None and not _type_ok(instance, expected):
+        errors.append(
+            f"{path}: expected type {expected!r}, got {type(instance).__name__}"
+        )
+        return errors  # structural checks below assume the right type
+
+    if "const" in schema and instance != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}, got {instance!r}")
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum {schema['enum']!r}")
+
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if "minimum" in schema and instance < schema["minimum"]:
+            errors.append(f"{path}: {instance} < minimum {schema['minimum']}")
+        if "maximum" in schema and instance > schema["maximum"]:
+            errors.append(f"{path}: {instance} > maximum {schema['maximum']}")
+
+    if isinstance(instance, dict):
+        props: dict[str, Any] = schema.get("properties", {})
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{path}: missing required property {key!r}")
+        extra = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            if key in props:
+                errors.extend(validate(value, props[key], f"{path}.{key}"))
+            elif extra is False:
+                errors.append(f"{path}: unexpected property {key!r}")
+            elif isinstance(extra, dict):
+                errors.extend(validate(value, extra, f"{path}.{key}"))
+
+    if isinstance(instance, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, value in enumerate(instance):
+                errors.extend(validate(value, items, f"{path}[{i}]"))
+
+    return errors
+
+
+def check(instance: Any, schema: dict[str, Any]) -> None:
+    """Raise :class:`SchemaError` listing every violation, if any."""
+    errors = validate(instance, schema)
+    if errors:
+        raise SchemaError(
+            f"{len(errors)} schema violation(s):\n" + "\n".join(errors)
+        )

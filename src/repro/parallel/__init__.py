@@ -12,6 +12,7 @@ this layer.
 from .cache import CACHE_SALT, DEFAULT_CACHE_DIR, CacheStats, ResultCache, config_key
 from .pool import (
     CellResult,
+    aggregate_cells,
     configure,
     default_cache,
     default_workers,
@@ -26,6 +27,7 @@ __all__ = [
     "CacheStats",
     "CellResult",
     "ResultCache",
+    "aggregate_cells",
     "config_key",
     "configure",
     "default_cache",

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 
 from .. import __version__
 from ..experiments.report import Record
+from ..obs.core import telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..experiments.runner import ExperimentConfig
@@ -47,15 +48,25 @@ def _jsonable(value):
     return value
 
 
+# Config fields that do not affect the simulated Record and therefore must
+# not enter the cache key (flipping them would otherwise invalidate every
+# cached cell for no reason).
+_NON_SEMANTIC_FIELDS = frozenset({"telemetry"})
+
+
 def config_key(cfg: ExperimentConfig, x: float | str | None = None) -> str:
     """Stable content hash for one experiment cell.
 
-    Includes every config field, the presentation ``x`` value (it is stored
-    inside the resulting :class:`Record`), the package version, and
-    :data:`CACHE_SALT`.
+    Includes every *semantic* config field (observability toggles such as
+    ``telemetry`` are excluded — they do not change the Record), the
+    presentation ``x`` value (it is stored inside the resulting
+    :class:`Record`), the package version, and :data:`CACHE_SALT`.
     """
+    fields = {
+        k: v for k, v in asdict(cfg).items() if k not in _NON_SEMANTIC_FIELDS
+    }
     payload = {
-        "config": _jsonable(asdict(cfg)),
+        "config": _jsonable(fields),
         "x": _jsonable(x),
         "version": __version__,
         "salt": CACHE_SALT,
@@ -101,8 +112,10 @@ class ResultCache:
             record = Record(**doc["record"])
         except (OSError, ValueError, KeyError, TypeError):
             self.stats.misses += 1
+            telemetry.count("repro-cache/misses")
             return None
         self.stats.hits += 1
+        telemetry.count("repro-cache/hits")
         return record
 
     def put(
@@ -110,9 +123,14 @@ class ResultCache:
         cfg: ExperimentConfig,
         x: float | str | None,
         record: Record,
-        elapsed_s: float = 0.0,
+        manifest: dict | None = None,
     ) -> Path:
-        """Persist one finished cell; returns the entry's path."""
+        """Persist one finished cell; returns the entry's path.
+
+        ``manifest`` is the cell's per-run manifest fragment (timing plus an
+        optional telemetry snapshot, see :mod:`repro.parallel.pool`), stored
+        alongside the record for post-hoc aggregation.
+        """
         key = config_key(cfg, x)
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -122,7 +140,7 @@ class ResultCache:
             "salt": CACHE_SALT,
             "config": _jsonable(asdict(cfg)),
             "x": _jsonable(x),
-            "elapsed_s": elapsed_s,
+            "manifest": manifest,
             "record": asdict(record),
         }
         tmp = path.with_suffix(".tmp")
@@ -130,6 +148,7 @@ class ResultCache:
             json.dump(doc, fh, indent=None)
         os.replace(tmp, path)
         self.stats.stores += 1
+        telemetry.count("repro-cache/stores")
         return path
 
     def clear(self) -> int:

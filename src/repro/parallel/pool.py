@@ -8,6 +8,12 @@ worker ran a cell, or in what order), consults an optional
 :class:`~repro.parallel.cache.ResultCache` before simulating anything, and
 falls back to plain serial execution when ``workers <= 1``, only one cell
 is pending, or the platform cannot fork.
+
+Each freshly simulated cell carries a *manifest fragment* (its config
+digest, wall-clock time and — when collection is on, via ``collect=True``
+or the ``REPRO_TELEMETRY`` environment variable — the worker's telemetry
+snapshot); :func:`aggregate_cells` merges the fragments of a whole sweep
+into one summary the figure drivers and CI fold into the run manifest.
 """
 
 from __future__ import annotations
@@ -19,15 +25,19 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
 from ..experiments.report import Record
 from ..experiments.runner import ExperimentConfig, run_config
+from ..obs.core import telemetry
+from ..obs.export import merge_snapshots
 from .cache import ResultCache, config_key
 
 __all__ = [
     "CellResult",
+    "aggregate_cells",
     "configure",
     "default_cache",
     "default_workers",
@@ -85,11 +95,32 @@ def fork_available() -> bool:
 
 @dataclass(frozen=True)
 class CellResult:
-    """One executed (or replayed) experiment cell."""
+    """One executed (or replayed) experiment cell.
+
+    ``manifest`` is the cell's manifest fragment (config digest, timing and
+    optional telemetry snapshot); replayed cells have ``manifest=None``.
+    """
 
     record: Record
-    elapsed_s: float
     cached: bool
+    manifest: dict[str, Any] | None = None
+
+    @property
+    def elapsed_s(self) -> float:
+        """Fresh simulation wall-clock seconds (0.0 for cache replays)."""
+        if self.manifest is None:
+            return 0.0
+        return float(self.manifest.get("elapsed_s", 0.0))
+
+
+def _collect_default() -> bool:
+    """Whether workers should snapshot telemetry (``REPRO_TELEMETRY`` env)."""
+    return os.environ.get("REPRO_TELEMETRY", "").strip().lower() in {
+        "1",
+        "true",
+        "yes",
+        "on",
+    }
 
 
 def _seed_cell(cfg: ExperimentConfig, x: float | str | None):
@@ -104,12 +135,32 @@ def _seed_cell(cfg: ExperimentConfig, x: float | str | None):
     np.random.seed(seed)
 
 
-def _run_cell(payload: tuple[ExperimentConfig, float | str | None]):
-    cfg, x = payload
+def _run_cell(payload: tuple[ExperimentConfig, float | str | None, bool]):
+    cfg, x, collect = payload
     _seed_cell(cfg, x)
+    was_enabled = telemetry.enabled
+    if collect:
+        telemetry.reset()
+        telemetry.enable()
     t0 = time.perf_counter()
-    record = run_config(cfg, x)
-    return record, time.perf_counter() - t0
+    try:
+        record = run_config(cfg, x)
+        elapsed = time.perf_counter() - t0
+        snapshot = telemetry.snapshot() if collect else None
+    finally:
+        if collect:
+            # Leave the process-wide registry as we found it: the serial
+            # fallback runs cells in the caller's process.
+            telemetry.reset()
+            if not was_enabled:
+                telemetry.disable()
+    manifest = {
+        "config_digest": config_key(cfg, x),
+        "elapsed_s": elapsed,
+        "cached": False,
+        "telemetry": snapshot,
+    }
+    return record, manifest
 
 
 def _resolve_cache(cache) -> ResultCache | None:
@@ -128,17 +179,22 @@ def run_cells(
     *,
     workers: int | None = None,
     cache: ResultCache | None | bool = None,
+    collect: bool | None = None,
 ) -> list[CellResult]:
-    """Run every cell, returning per-cell records, timings and cache flags.
+    """Run every cell, returning per-cell records and manifest fragments.
 
     Results come back in input order. Cached cells are never dispatched;
-    fresh results are written back to the cache as they arrive.
+    fresh results are written back to the cache as they arrive. ``collect``
+    makes each worker snapshot its telemetry registry into the cell's
+    manifest fragment (default: the ``REPRO_TELEMETRY`` environment
+    variable).
     """
     configs = list(configs)
     xs = list(xs) if xs is not None else [None] * len(configs)
     if len(xs) != len(configs):
         raise ValueError(f"got {len(configs)} configs but {len(xs)} x values")
     workers = default_workers() if workers is None else max(1, int(workers))
+    collect = _collect_default() if collect is None else collect
     store = _resolve_cache(cache)
 
     results: list[CellResult | None] = [None] * len(configs)
@@ -146,12 +202,12 @@ def run_cells(
     for i, (cfg, x) in enumerate(zip(configs, xs, strict=True)):
         hit = store.get(cfg, x) if store is not None else None
         if hit is not None:
-            results[i] = CellResult(hit, 0.0, True)
+            results[i] = CellResult(hit, cached=True)
         else:
             pending.append(i)
 
     if pending:
-        payloads = [(configs[i], xs[i]) for i in pending]
+        payloads = [(configs[i], xs[i], collect) for i in pending]
         if workers > 1 and len(pending) > 1 and fork_available():
             import multiprocessing
 
@@ -162,12 +218,32 @@ def run_cells(
                 outputs = list(pool.map(_run_cell, payloads, chunksize=chunksize))
         else:
             outputs = [_run_cell(p) for p in payloads]
-        for i, (record, elapsed) in zip(pending, outputs, strict=True):
-            results[i] = CellResult(record, elapsed, False)
+        for i, (record, manifest) in zip(pending, outputs, strict=True):
+            results[i] = CellResult(record, cached=False, manifest=manifest)
             if store is not None:
-                store.put(configs[i], xs[i], record, elapsed)
+                store.put(configs[i], xs[i], record, manifest)
 
     return [r for r in results if r is not None]
+
+
+def aggregate_cells(cells: Sequence[CellResult]) -> dict[str, Any]:
+    """Merge a sweep's per-cell manifest fragments into one summary.
+
+    Counters sum across cells, gauges keep their last value, and span
+    statistics merge; cells without a snapshot (cache replays, collection
+    off) contribute only to the counts and timing totals.
+    """
+    snapshots = [
+        c.manifest["telemetry"]
+        for c in cells
+        if c.manifest is not None and c.manifest.get("telemetry") is not None
+    ]
+    return {
+        "cells": len(cells),
+        "cached": sum(1 for c in cells if c.cached),
+        "elapsed_s": sum(c.elapsed_s for c in cells),
+        "telemetry": merge_snapshots(snapshots) if snapshots else None,
+    }
 
 
 def map_configs(

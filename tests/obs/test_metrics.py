@@ -1,0 +1,101 @@
+"""Derived run metrics: utilization bounds, conservation, audit cross-check."""
+
+import pytest
+
+from repro.cluster.platform import osc_xio
+from repro.core.driver import run_batch
+from repro.obs.core import telemetry
+from repro.obs.metrics import IDLE_GAP_BUCKETS, compute_metrics
+from repro.workloads import generate_image_batch
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    telemetry.reset()
+    telemetry.disable()
+    yield
+    telemetry.reset()
+    telemetry.disable()
+
+
+def _fig5b_like(num_tasks: int = 24, scheme: str = "bipartition"):
+    """A reduced disk-pressure cell in Fig. 5(b)'s configuration."""
+    batch = generate_image_batch(num_tasks, "high", 4, seed=0)
+    platform = osc_xio(num_compute=4, num_storage=4, disk_space_mb=4000.0)
+    return run_batch(
+        batch, platform, scheme, candidate_limit=25, telemetry=True, audit=True
+    )
+
+
+class TestRunMetrics:
+    def test_utilizations_and_fractions_bounded(self):
+        result = _fig5b_like()
+        m = result.metrics
+        assert m is not None
+        assert m.makespan_s == pytest.approx(result.makespan)
+        for name, u in m.node_exec_utilization.items():
+            assert 0.0 <= u <= 1.0, name
+        assert 0.0 <= m.mean_exec_utilization <= 1.0
+        for name, f in m.port_busy_fraction.items():
+            assert 0.0 <= f <= 1.0 + 1e-9, name
+        assert 0.0 <= m.disk_hit_ratio <= 1.0
+        assert m.file_reuse_factor >= 1.0
+        assert 0.0 <= m.replicated_fraction <= 1.0
+
+    def test_histogram_covers_all_buckets(self):
+        m = _fig5b_like().metrics
+        assert len(m.idle_gap_histogram) == len(IDLE_GAP_BUCKETS) + 1
+        assert all(v >= 0 for v in m.idle_gap_histogram.values())
+
+    def test_byte_conservation(self):
+        # Every staged MB is still resident or was evicted (Section 4.2/4.3
+        # bookkeeping): the residual must vanish even under disk pressure.
+        m = _fig5b_like(num_tasks=32, scheme="minmin").metrics
+        assert m.conservation_residual_mb == pytest.approx(0.0, abs=1e-6)
+
+    def test_stats_mirror_transfer_stats(self):
+        result = _fig5b_like()
+        m, s = result.metrics, result.stats
+        assert (m.remote_transfers, m.replications, m.evictions) == (
+            s.remote_transfers, s.replications, s.evictions
+        )
+        assert m.cache_hits == s.cache_hits
+        assert m.cache_hit_volume_mb == pytest.approx(s.cache_hit_volume_mb)
+
+    def test_metrics_cross_check_audit_trail(self):
+        # The derived metrics and the E1-E5 audit trail are independent
+        # accountings of the same execution; their byte totals must agree.
+        result = _fig5b_like(num_tasks=32, scheme="minmin")
+        trail = result.runtime.trail
+        assert trail is not None
+        m = result.metrics
+        remote_mb = sum(t.size_mb for t in trail.transfers if t.kind == "remote")
+        replica_mb = sum(t.size_mb for t in trail.transfers if t.kind == "replica")
+        evicted_mb = sum(e.size_mb for e in trail.evictions)
+        assert m.remote_volume_mb == pytest.approx(remote_mb)
+        assert m.replication_volume_mb == pytest.approx(replica_mb)
+        # Between-sub-batch evictions also land on the trail (the driver
+        # passes it to _pre_evict), so the totals match exactly.
+        assert m.evicted_volume_mb == pytest.approx(evicted_mb)
+
+    def test_compute_metrics_without_decisions(self):
+        result = _fig5b_like()
+        records = [r for sb in result.sub_batches for r in sb.execution.records]
+        m = compute_metrics(result.runtime, records, None)
+        assert m.estimation is None
+        assert m.makespan_s == pytest.approx(result.makespan)
+
+
+class TestCacheHitAccounting:
+    def test_cache_hits_recorded_for_resident_inputs(self):
+        # High overlap + persistent state means later tasks find inputs
+        # already on their node: those must surface as cache hits.
+        result = _fig5b_like()
+        assert result.stats.cache_hits > 0
+        assert result.stats.cache_hit_volume_mb > 0.0
+
+    def test_no_hits_means_no_volume(self):
+        batch = generate_image_batch(4, "zero", 4, seed=3)
+        result = run_batch(batch, osc_xio(num_compute=4), "jdp", telemetry=True)
+        if result.stats.cache_hits == 0:
+            assert result.stats.cache_hit_volume_mb == 0.0

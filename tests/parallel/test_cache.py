@@ -35,6 +35,11 @@ class TestConfigKey:
         assert config_key(cfg(allow_replication=False), "high") != base
         assert config_key(cfg(scheduler_kwargs={"time_limit": 5.0}), "high") != base
 
+    def test_telemetry_flag_is_non_semantic(self):
+        # Observability toggles don't change the Record, so they must not
+        # invalidate cached cells.
+        assert config_key(cfg(telemetry=True), "high") == config_key(cfg(), "high")
+
     def test_sensitive_to_x(self):
         assert config_key(cfg(), "high") != config_key(cfg(), "medium")
         assert config_key(cfg(), 100) != config_key(cfg(), 200)
@@ -58,7 +63,7 @@ class TestResultCache:
         assert cache.stats.misses == 1
 
         record = run_config(c, "high")
-        cache.put(c, "high", record, elapsed_s=0.5)
+        cache.put(c, "high", record, manifest={"elapsed_s": 0.5})
         assert cache.stats.stores == 1
 
         replayed = cache.get(c, "high")
@@ -76,11 +81,12 @@ class TestResultCache:
     def test_entry_records_provenance(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         c = cfg()
-        path = cache.put(c, "high", run_config(c, "high"), elapsed_s=1.25)
+        manifest = {"config_digest": config_key(c, "high"), "elapsed_s": 1.25}
+        path = cache.put(c, "high", run_config(c, "high"), manifest=manifest)
         doc = json.loads(path.read_text())
         assert doc["salt"] == CACHE_SALT
         assert doc["config"]["scheme"] == "bipartition"
-        assert doc["elapsed_s"] == 1.25
+        assert doc["manifest"]["elapsed_s"] == 1.25
         assert doc["key"] == config_key(c, "high")
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
