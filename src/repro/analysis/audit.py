@@ -20,7 +20,13 @@ E4. staging never overlaps execution on the same node (the paper's
     it with ``overlap_io_compute=True``);
 E5. reported :class:`~repro.cluster.stats.TaskRecord` timings are
     consistent with the trace (matching reserved exec interval,
-    ``transfers_done <= exec_start <= completion``).
+    ``transfers_done <= exec_start <= completion``);
+E6. no activity on a compute node after its injected crash time — no
+    busy interval on its timeline, no transfer from or to it, and no
+    execution (fault injection, ``docs/faults.md``);
+E7. every injected transfer failure is recovered: a later successful
+    transfer delivers the same file to the same node, or the node itself
+    crashed (its unfinished tasks were rescheduled elsewhere).
 
 Use :func:`repro.core.driver.run_batch` with ``audit=True`` to execute a
 batch with the trail enabled and fail fast on any violation; the test
@@ -33,7 +39,13 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from ..cluster.events import AuditTrail, EvictionEvent, ExecEvent, TransferEvent
+from ..cluster.events import (
+    AuditTrail,
+    CrashEvent,
+    EvictionEvent,
+    ExecEvent,
+    TransferEvent,
+)
 from ..cluster.gantt import Interval, Timeline
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -161,6 +173,10 @@ def _audit_disk_occupancy(
                     f"eviction of {event.file_id} from node {event.node} "
                     "but the trail never staged it there",
                 )
+        elif isinstance(event, CrashEvent):
+            # The node's disk is gone; everything it held vanishes from the
+            # replayed occupancy (without eviction bookkeeping).
+            resident.pop(event.node, None)
 
 
 def _exec_timeline(runtime: Runtime, node: int) -> Timeline:
@@ -180,7 +196,7 @@ def _audit_no_staging_during_exec(
         execs = [iv for iv in _exec_timeline(runtime, node).intervals
                  if iv.tag.startswith("exec:")]
         staging = [iv for iv in port_ivs
-                   if iv.tag.startswith(("xfer:", "push:"))]
+                   if iv.tag.startswith(("xfer:", "push:", "xfail:"))]
         for ex in execs:
             for st in staging:
                 if st.start < ex.end - AUDIT_EPS and st.end > ex.start + AUDIT_EPS:
@@ -249,6 +265,72 @@ def _audit_records(
                 )
 
 
+def _audit_node_crashes(runtime: Runtime, trail: AuditTrail, report: AuditReport) -> None:
+    """E6 — nothing touches a compute node after its injected crash time."""
+    if runtime.faults is None:
+        return
+    crash_times = {
+        node: runtime.faults.crash_time(node)
+        for node in range(runtime.platform.num_compute)
+    }
+    for node, crash_at in crash_times.items():
+        if crash_at == float("inf"):
+            continue
+        timelines = [runtime.node_tl[node]]
+        if runtime.cpu_tl is not None:
+            timelines.append(runtime.cpu_tl[node])
+        for tl in timelines:
+            for iv in tl.intervals:
+                if iv.end > crash_at + AUDIT_EPS:
+                    report.add(
+                        "E6",
+                        f"node {node} crashed at {crash_at:.3f} but "
+                        f"{iv.tag!r} occupies [{iv.start:.3f}, {iv.end:.3f}) "
+                        "on its timeline",
+                    )
+    for tr in trail.transfers:
+        for endpoint in (tr.dest, tr.source_node):
+            if endpoint is None:
+                continue
+            crash_at = crash_times.get(endpoint, float("inf"))
+            if tr.end > crash_at + AUDIT_EPS:
+                report.add(
+                    "E6",
+                    f"transfer of {tr.file_id} touching node {endpoint} ends "
+                    f"at {tr.end:.3f}, after its crash at {crash_at:.3f}",
+                )
+    for ev in trail.execs:
+        crash_at = crash_times.get(ev.node, float("inf"))
+        if ev.end > crash_at + AUDIT_EPS:
+            report.add(
+                "E6",
+                f"task {ev.task_id} on node {ev.node} ends at {ev.end:.3f}, "
+                f"after the node's crash at {crash_at:.3f}",
+            )
+
+
+def _audit_failed_transfers(trail: AuditTrail, report: AuditReport) -> None:
+    """E7 — every injected transfer failure is retried to success."""
+    if not trail.failed_transfers:
+        return
+    crashed = {c.node for c in trail.crashes}
+    recovered: dict[tuple[str, int], int] = {}
+    for tr in trail.transfers:
+        key = (tr.file_id, tr.dest)
+        if key not in recovered or tr.seq > recovered[key]:
+            recovered[key] = tr.seq
+    for fail in trail.failed_transfers:
+        if fail.dest in crashed:
+            continue  # the destination died; its tasks were rescheduled
+        success_seq = recovered.get((fail.file_id, fail.dest))
+        if success_seq is None or success_seq < fail.seq:
+            report.add(
+                "E7",
+                f"transfer of {fail.file_id} to node {fail.dest} failed "
+                f"(attempt {fail.attempt}) and was never retried to success",
+            )
+
+
 def _all_timelines(runtime: Runtime) -> list[Timeline]:
     out = list(runtime.node_tl)
     if runtime.cpu_tl is not None:
@@ -280,9 +362,15 @@ def audit_runtime(
     _audit_staging_before_exec(trail, report)
     _audit_disk_occupancy(runtime, trail, report)
     _audit_no_staging_during_exec(runtime, report)
+    _audit_node_crashes(runtime, trail, report)
+    _audit_failed_transfers(trail, report)
     if results is not None:
         _audit_records(runtime, trail, results, report)
     report.checked_events = (
-        len(trail.transfers) + len(trail.execs) + len(trail.evictions)
+        len(trail.transfers)
+        + len(trail.execs)
+        + len(trail.evictions)
+        + len(trail.failed_transfers)
+        + len(trail.crashes)
     )
     return report

@@ -26,8 +26,15 @@ Commands
     :mod:`repro.analysis.lint`) over source paths.
 ``audit``
     Execute a batch with the audit trail enabled and verify the resulting
-    Gantt trace against the execution invariants E1–E5
+    Gantt trace against the execution invariants E1–E7
     (:mod:`repro.analysis.audit`, ``docs/invariants.md``).
+``chaos``
+    Fault-injection sweep (``docs/faults.md``): makespan-degradation curve
+    over transfer-failure rates x schemes, each cell optionally audited
+    against E1–E7. The nightly chaos CI job runs this at reduced scale.
+
+``run`` and ``audit`` accept ``--faults SPEC.json`` to inject faults from
+a :class:`repro.faults.FaultSpec` JSON file (see ``examples/faults/``).
 
 Examples
 --------
@@ -35,12 +42,14 @@ Examples
 
     python -m repro run --workload image --overlap high --tasks 60 \
         --schemes bipartition minmin --gantt
+    python -m repro run --tasks 40 --faults examples/faults/crash-and-flaky.json
     python -m repro figure fig4b --tasks 40 --csv fig4b.csv
     python -m repro figure fig5b --workers 4 --json fig5b.json
     python -m repro metrics fig5b --tasks 24 --out manifest.json
     python -m repro profile fig5b --tasks 24 --trace profile.trace.json
     python -m repro lint src/repro
     python -m repro audit --workload sat --tasks 30 --schemes minmin jdp
+    python -m repro chaos --tasks 30 --rates 0 0.2 0.4 --json degradation.json
 """
 
 from __future__ import annotations
@@ -137,6 +146,25 @@ def _cell_cache(args, enabled: bool):
     return cache if enabled else False
 
 
+def _load_faults(path: str) -> dict:
+    """Load and eagerly validate a fault-spec JSON file."""
+    import json as _json
+
+    from .faults import FaultSpec
+
+    try:
+        with open(path) as fh:
+            spec = _json.load(fh)
+    except OSError as exc:
+        raise SystemExit(f"cannot read fault spec {path!r}: {exc}") from None
+    try:
+        FaultSpec.from_dict(spec)  # fail before any simulation runs
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid fault spec {path!r}: {exc}") from None
+    assert isinstance(spec, dict)
+    return spec
+
+
 def _add_workload_args(p: argparse.ArgumentParser):
     p.add_argument("--workload", choices=("sat", "image", "synthetic"), default="image")
     p.add_argument("--overlap", default="high")
@@ -175,6 +203,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pr.add_argument("--ip-time-limit", type=float, default=30.0)
     pr.add_argument("--candidate-limit", type=int, default=None)
+    pr.add_argument(
+        "--faults",
+        metavar="SPEC.json",
+        help="inject faults from a FaultSpec JSON file (docs/faults.md)",
+    )
     pr.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart of the last scheme")
     pr.add_argument("--trace", metavar="FILE", help="write a Chrome trace JSON of the last scheme")
     pr.add_argument(
@@ -253,13 +286,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     pa = sub.add_parser(
-        "audit", help="execute a batch and verify its trace invariants (E1-E5)"
+        "audit", help="execute a batch and verify its trace invariants (E1-E7)"
     )
     _add_workload_args(pa)
     pa.add_argument("--schemes", nargs="+", default=["bipartition", "minmin"])
     pa.add_argument("--no-replication", action="store_true")
     pa.add_argument("--candidate-limit", type=int, default=None)
     pa.add_argument("--ip-time-limit", type=float, default=30.0)
+    pa.add_argument(
+        "--faults",
+        metavar="SPEC.json",
+        help="inject faults from a FaultSpec JSON file; the audit then also "
+        "exercises the fault invariants E6/E7",
+    )
+
+    pc = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: makespan degradation curve, audited cells",
+    )
+    pc.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.1, 0.2, 0.4],
+        help="transient transfer-failure rates to sweep",
+    )
+    pc.add_argument("--schemes", nargs="+", default=None,
+                    help="schemes to sweep (default: bipartition minmin jdp)")
+    pc.add_argument("--workload", choices=("sat", "image"), default="image")
+    pc.add_argument("--overlap", default="high")
+    pc.add_argument("--tasks", type=int, default=30)
+    pc.add_argument("--storage", choices=("xio", "osumed"), default="xio")
+    pc.add_argument("--seed", type=int, default=0)
+    pc.add_argument("--fault-seed", type=int, default=0)
+    pc.add_argument(
+        "--crash-node",
+        type=int,
+        default=None,
+        help="also crash this compute node in every non-zero-rate cell",
+    )
+    pc.add_argument("--crash-time", type=float, default=5.0)
+    pc.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="skip the per-cell E1-E7 invariant verification",
+    )
+    pc.add_argument("--csv", metavar="FILE", help="also write the table as CSV")
+    pc.add_argument("--json", metavar="FILE", help="also write the records as JSON")
+    _add_parallel_args(pc, cache_default_on=False)
     return parser
 
 
@@ -302,6 +376,7 @@ def _cmd_run_parallel(args) -> int:
     _print_run_header()
     cache = _cell_cache(args, enabled=args.cache)
     disk = math.inf if args.disk_gb is None else args.disk_gb * 1000.0
+    faults = _load_faults(args.faults) if args.faults else None
     configs = []
     for scheme in args.schemes:
         kwargs = {}
@@ -322,6 +397,7 @@ def _cmd_run_parallel(args) -> int:
                 allow_replication=not args.no_replication,
                 candidate_limit=args.candidate_limit,
                 scheduler_kwargs=kwargs,
+                faults=faults,
             )
         )
     # With --json, record result-cache hit/miss counters (and anything else
@@ -409,14 +485,18 @@ def _cmd_run(args) -> int:
         batch = _batch(args, platform.num_storage)
     print(f"{batch} on {platform.name} ({platform.num_compute} compute nodes)\n")
     _print_run_header()
+    faults = _load_faults(args.faults) if args.faults else None
     last_runtime: Runtime | None = None
+    fault_lines: list[str] = []
     for scheme in args.schemes:
         kwargs = {}
         if scheme == "ip":
             kwargs = {"time_limit": args.ip_time_limit, "mip_rel_gap": 0.05}
         # Re-create runtime internals manually when a trace is requested so
-        # the timelines stay accessible.
-        if args.gantt or args.trace:
+        # the timelines stay accessible. Fault injection needs the driver's
+        # rescheduling loop, so faulty runs go through run_batch instead
+        # (whose result keeps the runtime for --gantt/--trace).
+        if (args.gantt or args.trace) and faults is None:
             scheduler = make_scheduler(scheme, **kwargs)
             scheduler.reset()
             state = ClusterState.initial(platform, batch)
@@ -460,11 +540,23 @@ def _cmd_run(args) -> int:
                 candidate_limit=args.candidate_limit,
                 scheduler_kwargs=kwargs,
                 overlap_io_compute=args.overlap_io,
+                faults=faults,
             )
             makespan = result.makespan
             stats = result.stats
             per_task = result.scheduling_ms_per_task
             sub = result.num_sub_batches
+            if args.gantt or args.trace:
+                last_runtime = result.runtime
+            fs = result.fault_stats
+            if fs is not None:
+                fault_lines.append(
+                    f"{scheme:14s} {fs.node_crashes} crash(es), "
+                    f"{fs.transfer_failures} failed transfer(s) / "
+                    f"{fs.retries} retried / {fs.failovers} re-sourced, "
+                    f"{fs.tasks_rescheduled} task(s) rescheduled, "
+                    f"{fs.files_lost} file(s) lost ({fs.lost_mb:.0f} MB)"
+                )
         print(
             f"{scheme:14s} {makespan:9.1f}s {per_task:14.2f} "
             f"{stats.remote_volume_mb:10.0f} "
@@ -472,6 +564,10 @@ def _cmd_run(args) -> int:
             f"{stats.evictions:6d} {sub:4d}"
         )
 
+    if fault_lines:
+        print("\nfault injection:")
+        for line in fault_lines:
+            print(line)
     if last_runtime is not None and args.gantt:
         print("\n" + render_ascii(last_runtime))
     if last_runtime is not None and args.trace:
@@ -732,6 +828,7 @@ def _cmd_audit(args) -> int:
 
     platform = _platform(args)
     batch = _batch(args, platform.num_storage)
+    faults = _load_faults(args.faults) if args.faults else None
     print(f"{batch} on {platform.name} ({platform.num_compute} compute nodes)\n")
     failures = 0
     for scheme in args.schemes:
@@ -747,6 +844,7 @@ def _cmd_audit(args) -> int:
                 candidate_limit=args.candidate_limit,
                 scheduler_kwargs=kwargs,
                 audit=True,
+                faults=faults,
             )
         except AuditError as exc:
             failures += 1
@@ -754,11 +852,71 @@ def _cmd_audit(args) -> int:
             continue
         report = result.audit_report
         assert report is not None
+        extra = ""
+        fs = result.fault_stats
+        if fs is not None:
+            extra = (
+                f" ({fs.node_crashes} crash(es), {fs.transfer_failures} "
+                f"failed transfer(s), {fs.tasks_rescheduled} rescheduled)"
+            )
         print(
             f"{scheme:14s} OK    {report.checked_events} events verified, "
-            f"makespan {result.makespan:.1f}s"
+            f"makespan {result.makespan:.1f}s{extra}"
         )
     return 1 if failures else 0
+
+
+def _cmd_chaos(args) -> int:
+    from .analysis.audit import AuditError
+    from .experiments import CHAOS_SCHEMES, degradation_curve
+
+    schemes = tuple(args.schemes) if args.schemes else CHAOS_SCHEMES
+    cache = _cell_cache(args, enabled=args.cache)
+    try:
+        table = degradation_curve(
+            rates=tuple(args.rates),
+            schemes=schemes,
+            workload=args.workload,
+            overlap=args.overlap,
+            num_tasks=args.tasks,
+            storage=args.storage,
+            seed=args.seed,
+            fault_seed=args.fault_seed,
+            crash_node=args.crash_node,
+            crash_time=args.crash_time,
+            audit=not args.no_audit,
+            workers=args.workers,
+            cache=cache,
+        )
+    except AuditError as exc:
+        print(f"FAIL: invariant violation under injected faults\n{exc}")
+        return 1
+    print(table.render())
+    if not args.no_audit:
+        print("\nevery cell passed the E1-E7 trace audit")
+    if args.cache:
+        print(f"cache: {cache.stats.summary()} in {cache.root}")
+    if args.csv:
+        columns = (
+            "experiment", "workload", "scheme", "x", "makespan_s",
+            "scheduling_ms_per_task", "remote_transfers", "remote_volume_mb",
+            "replications", "replication_volume_mb", "evictions", "sub_batches",
+        )
+        with open(args.csv, "w") as fh:
+            fh.write(table.to_csv(columns) + "\n")
+        print(f"CSV written to {args.csv}")
+    if args.json:
+        import json as _json
+        from dataclasses import asdict
+
+        with open(args.json, "w") as fh:
+            _json.dump(
+                {"title": table.title, "records": [asdict(r) for r in table.records]},
+                fh,
+                indent=2,
+            )
+        print(f"JSON written to {args.json}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -772,6 +930,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "lint": _cmd_lint,
         "audit": _cmd_audit,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -91,6 +91,45 @@ class DiskCache:
         self._used -= e.size_mb
         return e.size_mb
 
+    def drop_unconditionally(self, file_id: str) -> float:
+        """Drop a file even if pinned (node crash — the copy is destroyed)."""
+        return self.remove(file_id)
+
+    def shrink(
+        self,
+        lost_mb: float,
+        victim_order: Callable[[Iterable[str]], list[str]],
+        on_evict: Callable[[str], None] | None = None,
+    ) -> list[str]:
+        """Lose ``lost_mb`` of capacity (disk-loss fault); returns victims.
+
+        Capacity never drops below zero. Unpinned files are evicted in
+        ``victim_order`` until the survivors fit; raises
+        :class:`CacheFullError` if pinned files alone exceed the shrunken
+        capacity (cannot happen between sub-batches, when nothing is
+        pinned).
+        """
+        self.capacity_mb = max(self.capacity_mb - lost_mb, 0.0)
+        if self._used <= self.capacity_mb + 1e-9:
+            return []
+        candidates = [f for f, e in self._entries.items() if e.pin_count == 0]
+        victims: list[str] = []
+        for f in victim_order(candidates):
+            if self._used <= self.capacity_mb + 1e-9:
+                break
+            size = self.remove(f)
+            victims.append(f)
+            self.evictions += 1
+            self.evicted_volume += size
+            if on_evict:
+                on_evict(f)
+        if self._used > self.capacity_mb + 1e-9:
+            raise CacheFullError(
+                f"node {self.node_id}: disk loss leaves {self._used} MB pinned "
+                f"in {self.capacity_mb} MB of capacity"
+            )
+        return victims
+
     def touch(self, file_id: str, now: float) -> None:
         self._entries[file_id].last_use = now
 

@@ -14,7 +14,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["TransferEvent", "ExecEvent", "EvictionEvent", "AuditTrail"]
+__all__ = [
+    "TransferEvent",
+    "FailedTransferEvent",
+    "ExecEvent",
+    "EvictionEvent",
+    "CrashEvent",
+    "AuditTrail",
+]
 
 
 @dataclass(frozen=True)
@@ -34,6 +41,27 @@ class TransferEvent:
     start: float
     end: float
     push: bool = False
+
+
+@dataclass(frozen=True)
+class FailedTransferEvent:
+    """One injected transfer failure (fault model), before any retry.
+
+    The failed attempt still occupied ``[start, end)`` on its resources
+    (tagged ``xfail:``); ``attempt`` counts from 0 within one staging
+    session. The auditor's E7 invariant checks every failed attempt is
+    followed by a successful transfer of the same file to the same node.
+    """
+
+    seq: int
+    file_id: str
+    size_mb: float
+    kind: str
+    source_node: int | None
+    dest: int
+    start: float
+    end: float
+    attempt: int = 0
 
 
 @dataclass(frozen=True)
@@ -58,6 +86,21 @@ class EvictionEvent:
     size_mb: float
 
 
+@dataclass(frozen=True)
+class CrashEvent:
+    """A compute node's permanent failure (fault model).
+
+    ``lost_files`` lists the ``(file_id, size_mb)`` cache contents dropped
+    with the node; the auditor clears the node's replayed disk occupancy
+    here and E6 rejects any later activity touching the node.
+    """
+
+    seq: int
+    node: int
+    time: float
+    lost_files: tuple[tuple[str, float], ...] = ()
+
+
 @dataclass
 class AuditTrail:
     """Commit-ordered event log of one runtime's whole batch execution.
@@ -71,6 +114,8 @@ class AuditTrail:
     transfers: list[TransferEvent] = field(default_factory=list)
     execs: list[ExecEvent] = field(default_factory=list)
     evictions: list[EvictionEvent] = field(default_factory=list)
+    failed_transfers: list[FailedTransferEvent] = field(default_factory=list)
+    crashes: list[CrashEvent] = field(default_factory=list)
     initial_holdings: dict[int, dict[str, float]] = field(default_factory=dict)
     _seq: int = 0
 
@@ -109,10 +154,46 @@ class AuditTrail:
             EvictionEvent(self._next_seq(), node, file_id, size_mb)
         )
 
-    def in_commit_order(self) -> list[TransferEvent | ExecEvent | EvictionEvent]:
+    def record_failed_transfer(
+        self,
+        file_id: str,
+        size_mb: float,
+        kind: str,
+        source_node: int | None,
+        dest: int,
+        start: float,
+        end: float,
+        attempt: int = 0,
+    ) -> None:
+        self.failed_transfers.append(
+            FailedTransferEvent(
+                self._next_seq(), file_id, size_mb, kind, source_node,
+                dest, start, end, attempt,
+            )
+        )
+
+    def record_crash(
+        self, node: int, time: float, lost_files: tuple[tuple[str, float], ...]
+    ) -> None:
+        self.crashes.append(
+            CrashEvent(self._next_seq(), node, time, lost_files)
+        )
+
+    def in_commit_order(
+        self,
+    ) -> list[
+        TransferEvent | ExecEvent | EvictionEvent | FailedTransferEvent | CrashEvent
+    ]:
         """All events merged back into their global commit order."""
-        merged: list[TransferEvent | ExecEvent | EvictionEvent] = [
+        merged: list[
+            TransferEvent
+            | ExecEvent
+            | EvictionEvent
+            | FailedTransferEvent
+            | CrashEvent
+        ] = [
             *self.transfers, *self.execs, *self.evictions,
+            *self.failed_transfers, *self.crashes,
         ]
         merged.sort(key=lambda e: e.seq)
         return merged

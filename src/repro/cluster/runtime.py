@@ -35,6 +35,7 @@ from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field, replace
 
 from ..batch import Task
+from ..faults import FaultModel
 from .cache import CacheFullError
 from .events import AuditTrail
 from .gantt import Overlay, Timeline, earliest_common_slot
@@ -88,6 +89,11 @@ class _Tentative:
     transfers_done: float
     exec_start: float
     ect: float
+    # Injected transfer failures preceding the successful attempts
+    # (fault model only): (file_id, size, kind, source, start, end, attempt).
+    failed_attempts: list[tuple[str, float, str, int | None, float, float, int]] = (
+        field(default_factory=list)
+    )
 
 
 class Runtime:
@@ -107,6 +113,7 @@ class Runtime:
         ordering: str = "ect",
         overlap_io_compute: bool = False,
         audit: bool = False,
+        faults: FaultModel | None = None,
     ) -> None:
         if ordering not in ("ect", "fifo"):
             raise ValueError(f"ordering must be 'ect' or 'fifo', got {ordering!r}")
@@ -136,6 +143,14 @@ class Runtime:
         )
         # (node, file) -> absolute time the copy becomes usable
         self._avail: dict[tuple[int, str], float] = {}
+        # Fault injection (None = the null model: the exact fault-free code
+        # paths run and traces are bit-identical to a faultless build).
+        self.faults = faults
+        # (file, dest) -> completed staging sessions, so repeated stagings
+        # of the same file draw fresh failure outcomes. Only advanced at
+        # commit time, keeping speculative ECT evaluations consistent.
+        self._xfer_instance: dict[tuple[str, int], int] = {}
+        self._applied_disk_losses: set[int] = set()
         # Commit-ordered event log for the schedule auditor
         # (repro.analysis.audit); None keeps the hot path allocation-free.
         self.trail: AuditTrail | None = None
@@ -209,6 +224,122 @@ class Runtime:
             ready = self._avail_time(source_node, file_id)
         return res, bw, ready
 
+    # -- fault-aware source selection ---------------------------------------------------
+    def _best_source(
+        self,
+        file_id: str,
+        node: int,
+        plan: StagingPlan | None,
+        overlays: dict[str, Overlay],
+        floor: float,
+        exclude: frozenset[tuple[str, int | None]] = frozenset(),
+    ) -> tuple[float, str, int | None, float, float, list[Overlay]] | None:
+        """Min-TCT source for one transfer under the active fault model.
+
+        Returns ``(tct, kind, source, start, duration, resources)`` or
+        ``None`` when every candidate is excluded or crash-unreachable.
+        Only called when ``self.faults`` is set; the fault-free path keeps
+        its original inline loop untouched.
+        """
+        faults = self.faults
+        assert faults is not None
+        size = self.state.size_of(file_id)
+        best: tuple[float, str, int | None, float, float, list[Overlay]] | None = None
+        for kind, src in self._sources_for(file_id, node, plan):
+            if (kind, src) in exclude:
+                continue
+            res, bw, ready = self._transfer_resources(
+                kind, src, node, file_id, overlays
+            )
+            not_before = max(floor, ready)
+            # Link slowdown windows divide bandwidth; the factor is sampled
+            # at the transfer's earliest possible start (deterministic even
+            # though the actual slot may land later).
+            duration = size * faults.slowdown_factor(kind, not_before) / bw
+            start = earliest_common_slot(res, duration, not_before)
+            if kind == "replica":
+                assert src is not None
+                if start + duration > faults.crash_time(src):
+                    continue  # source node dies mid-copy: not a usable source
+            tct = start + duration
+            if best is None or tct < best[0]:
+                best = (tct, kind, src, start, duration, res)
+        return best
+
+    def _stage_with_faults(
+        self,
+        task: Task,
+        node: int,
+        plan: StagingPlan | None,
+        overlays: dict[str, Overlay],
+        missing: list[str],
+    ) -> tuple[
+        list[tuple[str, str, int | None, float, float]],
+        float,
+        list[tuple[str, float, str, int | None, float, float, int]],
+    ]:
+        """Stage ``missing`` files with retry/backoff and source failover.
+
+        Files are still picked in minimum-first-attempt-TCT order (the
+        paper's rule); each file's staging session then runs attempts until
+        one succeeds: a failed attempt occupies its slot (tagged
+        ``xfail:``), the next attempt starts after an exponential backoff
+        and prefers the next-cheapest source not yet tried this session
+        (falling back to retrying exhausted sources). Draw outcomes are
+        pure functions of ``(seed, file, dest, instance, attempt)`` so this
+        speculative evaluation matches the eventual commit exactly.
+        """
+        faults = self.faults
+        assert faults is not None
+        transfers: list[tuple[str, str, int | None, float, float]] = []
+        failed: list[tuple[str, float, str, int | None, float, float, int]] = []
+        transfers_done = self.clock
+        remaining = list(missing)
+        while remaining:
+            pick: tuple[float, str] | None = None
+            for f in remaining:
+                opt = self._best_source(f, node, plan, overlays, self.clock)
+                if opt is None:  # planned source unusable: dynamic fallback
+                    opt = self._best_source(f, node, None, overlays, self.clock)
+                assert opt is not None  # the storage cluster never crashes
+                if pick is None or opt[0] < pick[0]:
+                    pick = (opt[0], f)
+            assert pick is not None
+            f = pick[1]
+            size = self.state.size_of(f)
+            instance = self._xfer_instance.get((f, node), 0)
+            floor = self.clock
+            tried: set[tuple[str, int | None]] = set()
+            attempt = 0
+            while True:
+                opt = self._best_source(
+                    f, node, plan, overlays, floor, frozenset(tried)
+                )
+                if opt is None:
+                    tried.clear()  # every source tried: cycle through again
+                    opt = self._best_source(f, node, plan, overlays, floor)
+                if opt is None:
+                    opt = self._best_source(f, node, None, overlays, floor)
+                assert opt is not None
+                tct, kind, src, start, duration, res = opt
+                if faults.transfer_fails(f, node, instance, attempt):
+                    for ov in res:
+                        ov.reserve(start, duration, tag=f"xfail:{f}->{node}")
+                    failed.append(
+                        (f, size, kind, src, start, start + duration, attempt)
+                    )
+                    tried.add((kind, src))
+                    floor = start + duration + faults.backoff(attempt)
+                    attempt += 1
+                    continue
+                for ov in res:
+                    ov.reserve(start, duration, tag=f"xfer:{f}->{node}")
+                transfers.append((f, kind, src, start, duration))
+                transfers_done = max(transfers_done, tct)
+                break
+            remaining.remove(f)
+        return transfers, transfers_done, failed
+
     # -- tentative evaluation (ECT) ---------------------------------------------------
     def evaluate(
         self, task: Task, node: int, plan: StagingPlan | None = None
@@ -221,30 +352,39 @@ class Runtime:
         ]
         transfers: list[tuple[str, str, int | None, float, float]] = []
         transfers_done = max(present_avail, default=self.clock)
+        failed_attempts: list[
+            tuple[str, float, str, int | None, float, float, int]
+        ] = []
 
-        remaining = list(missing)
-        while remaining:
-            best = None  # (tct, file, kind, src, start, duration, resources)
-            for f in remaining:
-                size = self.state.size_of(f)
-                for kind, src in self._sources_for(f, node, plan):
-                    res, bw, ready = self._transfer_resources(
-                        kind, src, node, f, overlays
-                    )
-                    duration = size / bw
-                    start = earliest_common_slot(
-                        res, duration, max(self.clock, ready)
-                    )
-                    tct = start + duration
-                    if best is None or tct < best[0]:
-                        best = (tct, f, kind, src, start, duration, res)
-            assert best is not None
-            tct, f, kind, src, start, duration, res = best
-            for ov in res:
-                ov.reserve(start, duration, tag=f"xfer:{f}->{node}")
-            transfers.append((f, kind, src, start, duration))
-            transfers_done = max(transfers_done, tct)
-            remaining.remove(f)
+        if self.faults is not None:
+            transfers, staged_done, failed_attempts = self._stage_with_faults(
+                task, node, plan, overlays, missing
+            )
+            transfers_done = max(transfers_done, staged_done)
+        else:
+            remaining = list(missing)
+            while remaining:
+                best = None  # (tct, file, kind, src, start, duration, resources)
+                for f in remaining:
+                    size = self.state.size_of(f)
+                    for kind, src in self._sources_for(f, node, plan):
+                        res, bw, ready = self._transfer_resources(
+                            kind, src, node, f, overlays
+                        )
+                        duration = size / bw
+                        start = earliest_common_slot(
+                            res, duration, max(self.clock, ready)
+                        )
+                        tct = start + duration
+                        if best is None or tct < best[0]:
+                            best = (tct, f, kind, src, start, duration, res)
+                assert best is not None
+                tct, f, kind, src, start, duration, res = best
+                for ov in res:
+                    ov.reserve(start, duration, tag=f"xfer:{f}->{node}")
+                transfers.append((f, kind, src, start, duration))
+                transfers_done = max(transfers_done, tct)
+                remaining.remove(f)
 
         # Execution: local read of all inputs plus CPU time, after every
         # input file is available. Runs on the node timeline (port + CPU
@@ -271,6 +411,7 @@ class Runtime:
             transfers_done=transfers_done,
             exec_start=exec_start,
             ect=exec_start + exec_dur,
+            failed_attempts=failed_attempts,
         )
 
     # -- committing ---------------------------------------------------------------------
@@ -303,6 +444,8 @@ class Runtime:
 
         for ov in tent.overlays.values():
             ov.commit()
+        if self.faults is not None:
+            self._commit_fault_accounting(tent)
         for f, kind, src, start, duration in tent.transfers:
             size = self.state.size_of(f)
             self.state.place(node, f, now=start + duration)
@@ -331,6 +474,44 @@ class Runtime:
             completion=tent.ect,
         )
 
+    def _commit_fault_accounting(self, tent: _Tentative) -> None:
+        """Fold a committed task's fault history into stats and the trail.
+
+        Runs at commit time only, so speculative evaluations never touch
+        counters. Failed attempts are recorded before their file's
+        successful transfer, preserving E7's "failure then recovery" order
+        in the commit sequence.
+        """
+        faults = self.faults
+        assert faults is not None
+        node = tent.node
+        for f, _kind, _src, _start, _duration in tent.transfers:
+            self._xfer_instance[(f, node)] = (
+                self._xfer_instance.get((f, node), 0) + 1
+            )
+        if not tent.failed_attempts:
+            return
+        chains: dict[str, list[tuple[str, float, str, int | None, float, float, int]]] = {}
+        for fa in tent.failed_attempts:
+            chains.setdefault(fa[0], []).append(fa)
+        success_source = {
+            f: (kind, src) for f, kind, src, _start, _duration in tent.transfers
+        }
+        stats = faults.stats
+        for f, fails in chains.items():
+            fails.sort(key=lambda fa: fa[6])
+            stats.transfer_failures += len(fails)
+            stats.retries += len(fails)
+            sources = [(fa[2], fa[3]) for fa in fails] + [success_source[f]]
+            stats.failovers += sum(
+                1 for a, b in zip(sources, sources[1:]) if a != b
+            )
+            if self.trail is not None:
+                for file_id, size, kind, src, start, end, attempt in fails:
+                    self.trail.record_failed_transfer(
+                        file_id, size, kind, src, node, start, end, attempt
+                    )
+
     def _on_evict(self, node: int, file_id: str) -> None:
         # ensure_space has already dropped the cache entry; mirror the global
         # holder map, availability table and statistics.
@@ -340,9 +521,60 @@ class Runtime:
         self._avail.pop((node, file_id), None)
 
     def _release(self, task: Task, node: int) -> None:
+        if self.faults is not None and node in self.state.dead_nodes:
+            return  # the node's cache died with it; nothing left to unpin
         cache = self.state.caches[node]
         for f in task.files:
             cache.unpin(f)
+
+    # -- fault application --------------------------------------------------------------
+    def _kill_node(self, node: int, time: float) -> None:
+        """Permanently fail ``node``: drop its cache and log the crash."""
+        faults = self.faults
+        assert faults is not None
+        lost = self.state.mark_dead(node)
+        faults.stats.node_crashes += 1
+        faults.stats.files_lost += len(lost)
+        faults.stats.lost_mb += sum(size for _, size in lost)
+        for key in [k for k in self._avail if k[0] == node]:
+            del self._avail[key]
+        if self.trail is not None:
+            self.trail.record_crash(node, time, tuple(lost))
+
+    def _apply_timed_faults(
+        self, victim_order: Callable[[int, Iterable[str]], list[str]]
+    ) -> None:
+        """Inject faults whose simulated time has already passed.
+
+        Called at every :meth:`execute` entry: crashes and disk losses
+        scheduled before the current clock take effect between sub-batches
+        (mid-sub-batch crashes are caught by the commit-time guard in the
+        main loop instead).
+        """
+        faults = self.faults
+        assert faults is not None
+        for idx, loss in enumerate(faults.spec.disk_losses):
+            if idx in self._applied_disk_losses or loss.time > self.clock:
+                continue
+            self._applied_disk_losses.add(idx)
+            if (
+                loss.node in self.state.dead_nodes
+                or not 0 <= loss.node < self.platform.num_compute
+            ):
+                continue
+            node = loss.node
+            self.state.caches[node].shrink(
+                loss.lost_mb,
+                victim_order=lambda cands: victim_order(node, cands),
+                on_evict=lambda fid: self._on_evict(node, fid),
+            )
+            faults.stats.disk_losses += 1
+        for node in range(self.platform.num_compute):
+            if node in self.state.dead_nodes:
+                continue
+            crash_at = faults.crash_time(node)
+            if crash_at <= self.clock:
+                self._kill_node(node, crash_at)
 
     # -- proactive pushes (Data Least Loaded) ------------------------------------------
     def _stage_push(self, file_id: str, dest: int,
@@ -350,6 +582,8 @@ class Runtime:
         """Proactively replicate ``file_id`` onto ``dest`` (DLL baseline)."""
         if self.state.has_file(dest, file_id):
             return
+        if self.faults is not None and dest in self.state.dead_nodes:
+            return  # dead destination: the push is silently skipped
         size = self.state.size_of(file_id)
         cache = self.state.caches[dest]
         try:
@@ -366,12 +600,26 @@ class Runtime:
             res, bw, ready = self._transfer_resources(
                 kind, src, dest, file_id, overlays
             )
+            not_before = max(self.clock, ready)
             duration = size / bw
-            start = earliest_common_slot(res, duration, max(self.clock, ready))
+            if self.faults is not None:
+                duration = (
+                    size * self.faults.slowdown_factor(kind, not_before) / bw
+                )
+            start = earliest_common_slot(res, duration, not_before)
+            if (
+                self.faults is not None
+                and kind == "replica"
+                and src is not None
+                and start + duration > self.faults.crash_time(src)
+            ):
+                continue  # source dies mid-copy
             if best is None or start + duration < best[0]:
                 best = (start + duration, kind, src, start, duration, res)
         assert best is not None
         tct, kind, src, start, duration, res = best
+        if self.faults is not None and tct > self.faults.crash_time(dest):
+            return  # push would outlive the destination: skip it
         for ov in res:
             ov.reserve(start, duration, tag=f"push:{file_id}->{dest}")
         for ov in overlays.values():
@@ -409,6 +657,9 @@ class Runtime:
             victim_order = _size_ascending
 
         start_time = self.clock
+        failed: list[str] = []
+        if self.faults is not None:
+            self._apply_timed_faults(victim_order)
         for t in tasks:
             if t.task_id not in mapping:
                 raise ValueError(f"task {t.task_id} missing from mapping")
@@ -423,6 +674,12 @@ class Runtime:
         groups: dict[int, list[Task]] = {}
         for t in tasks:
             groups.setdefault(mapping[t.task_id], []).append(t)
+
+        if self.faults is not None:
+            # Tasks mapped onto an already-dead node cannot run at all;
+            # hand them straight back to the driver for rescheduling.
+            for node in [n for n in groups if n in self.state.dead_nodes]:
+                failed.extend(t.task_id for t in groups.pop(node))
 
         base_stats = replace(self.state.stats)
 
@@ -452,6 +709,15 @@ class Runtime:
         def commit_next(node: int) -> None:
             nonlocal seq
             tent = best_of(node)
+            if self.faults is not None and tent.ect > self.faults.crash_time(node):
+                # The node dies before its next-best task could complete:
+                # declare it crashed now. Everything already committed here
+                # finished before the crash instant (each commit passed this
+                # same guard), so E6 holds; the unfinished remainder of the
+                # group goes back to the driver's pending pool.
+                self._kill_node(node, self.faults.crash_time(node))
+                failed.extend(t.task_id for t in groups.pop(node))
+                return
             groups[node].remove(tent.task)
             if not groups[node]:
                 del groups[node]
@@ -500,4 +766,5 @@ class Runtime:
             makespan=makespan,
             records=records,
             stats=delta,
+            failed_tasks=failed,
         )

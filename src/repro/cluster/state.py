@@ -65,6 +65,8 @@ class ClusterState:
         # file id -> set of compute nodes currently holding it
         self._holders: dict[str, set[int]] = {}
         self.stats = TransferStats()
+        # Compute nodes lost to injected crashes (empty without faults).
+        self.dead_nodes: set[int] = set()
 
     @classmethod
     def initial(cls, platform: Platform, batch: Batch) -> ClusterState:
@@ -96,6 +98,14 @@ class ClusterState:
     def files_on(self, node_id: int) -> tuple[str, ...]:
         return self.caches[node_id].files
 
+    def alive_nodes(self) -> list[int]:
+        """Compute-node ids still usable for mapping (crash-aware)."""
+        return [
+            n.node_id
+            for n in self.platform.compute_nodes
+            if n.node_id not in self.dead_nodes
+        ]
+
     # -- mutation ---------------------------------------------------------------
     def place(self, node_id: int, file_id: str, now: float = 0.0) -> None:
         """Record that ``file_id`` is now cached on ``node_id``."""
@@ -123,6 +133,25 @@ class ClusterState:
             holders.discard(node_id)
             if not holders:
                 del self._holders[file_id]
+
+    def mark_dead(self, node_id: int) -> list[tuple[str, float]]:
+        """Fail ``node_id`` permanently, losing its cached files.
+
+        Returns the ``(file_id, size_mb)`` copies that vanished with the
+        node. The lost copies are *not* counted as evictions — they were
+        destroyed, not displaced — so byte-conservation metrics report the
+        imbalance honestly via the caller's fault stats.
+        """
+        lost: list[tuple[str, float]] = []
+        if node_id in self.dead_nodes:
+            return lost
+        self.dead_nodes.add(node_id)
+        cache = self.caches[node_id]
+        for file_id in list(cache.files):
+            size = cache.drop_unconditionally(file_id)
+            self._forget_holder(node_id, file_id)
+            lost.append((file_id, size))
+        return lost
 
     def record_remote(self, size_mb: float) -> None:
         self.stats.remote_transfers += 1

@@ -28,6 +28,9 @@ class ExecutionResult:
     makespan: float  # absolute completion time of the last task
     records: list[TaskRecord] = field(default_factory=list)
     stats: TransferStats = field(default_factory=TransferStats)
+    # Tasks whose node crashed before they could run (fault injection);
+    # the driver returns them to the pending pool and reschedules.
+    failed_tasks: list[str] = field(default_factory=list)
 
     @property
     def elapsed(self) -> float:

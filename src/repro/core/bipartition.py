@@ -122,10 +122,12 @@ class BiPartitionScheduler(Scheduler):
         self.vertex_weight_mode = vertex_weight_mode
         self.subbatch_order = subbatch_order
         self._queue: list[list[str]] | None = None
+        self._queue_dead = 0
 
     def reset(self) -> None:
         super().reset()
         self._queue = None
+        self._queue_dead = 0
 
     # -- level one: BINW sub-batch selection ---------------------------------------
     def _build_hypergraph(
@@ -151,10 +153,24 @@ class BiPartitionScheduler(Scheduler):
         )
 
     def _select_subbatches(
-        self, batch: Batch, pending: list[str], platform: Platform
+        self,
+        batch: Batch,
+        pending: list[str],
+        platform: Platform,
+        state: ClusterState,
     ) -> list[list[str]]:
         tasks = [batch.task(t) for t in pending]
-        bound = platform.aggregate_disk_space
+        if state.dead_nodes:
+            # Fault injection: the BINW bound shrinks to the surviving
+            # cluster's aggregate disk (crashed disks are gone).
+            bound = float(
+                sum(
+                    platform.compute_nodes[n].disk_space_mb
+                    for n in state.alive_nodes()
+                )
+            )
+        else:
+            bound = platform.aggregate_disk_space
         if math.isinf(bound) or batch.subset(pending).distinct_file_mb <= bound:
             return [list(pending)]
         h = self._build_hypergraph(batch, tasks, platform)
@@ -207,10 +223,15 @@ class BiPartitionScheduler(Scheduler):
     ) -> tuple[dict[str, int], list[str]]:
         """Map a sub-batch onto the nodes; returns (mapping, deferred tasks)."""
         tasks = [batch.task(t) for t in task_ids]
-        k = platform.num_compute
+        # K-way over surviving nodes only; identical to num_compute parts
+        # when no node has crashed.
+        nodes = state.alive_nodes()
+        if not nodes:
+            raise RuntimeError("no surviving compute nodes to schedule on")
+        k = len(nodes)
         h = self._build_hypergraph(batch, tasks, platform)
         parts = kway_partition(h, k, self.rng, epsilon=self.epsilon)
-        mapping = {t.task_id: int(parts[v]) for v, t in enumerate(tasks)}
+        mapping = {t.task_id: nodes[int(parts[v])] for v, t in enumerate(tasks)}
         deferred = self._repair_disk(batch, tasks, mapping, platform)
         for t in deferred:
             del mapping[t]
@@ -267,15 +288,20 @@ class BiPartitionScheduler(Scheduler):
         state: ClusterState,
     ) -> SubBatchPlan:
         pending_set = set(pending)
+        if self._queue and len(state.dead_nodes) != self._queue_dead:
+            # A node crashed since the queue was planned: the BINW bound it
+            # was partitioned against no longer holds — re-partition.
+            self._queue = None
+        self._queue_dead = len(state.dead_nodes)
         if not self._queue:
             # First call, or the planned queue drained (tasks deferred by
             # disk repair remain pending): (re-)partition what is pending.
-            self._queue = self._select_subbatches(batch, pending, platform)
+            self._queue = self._select_subbatches(batch, pending, platform, state)
         ids: list[str] = []
         while self._queue and not ids:
             ids = [t for t in self._queue.pop(0) if t in pending_set]
         if not ids:
-            self._queue = self._select_subbatches(batch, pending, platform)
+            self._queue = self._select_subbatches(batch, pending, platform, state)
             ids = self._queue.pop(0)
         mapping, deferred = self._map_subbatch(batch, ids, platform, state)
         kept = [t for t in ids if t not in set(deferred)]
@@ -284,7 +310,7 @@ class BiPartitionScheduler(Scheduler):
             # the paper assumes any single task's files fit on a node.
             forced = ids[0]
             target = max(
-                range(platform.num_compute),
+                state.alive_nodes(),
                 key=lambda i: platform.compute_nodes[i].disk_space_mb,
             )
             kept = [forced]

@@ -24,6 +24,7 @@ from ..cluster.events import AuditTrail
 from ..cluster.platform import Platform
 from ..cluster.runtime import Runtime
 from ..cluster.state import ClusterState
+from ..faults import FaultModel, FaultSpec, resolve_spec
 from ..obs.core import telemetry as tele
 from .base import Scheduler, make_scheduler
 from .eviction import EvictionPolicy
@@ -112,6 +113,7 @@ def run_batch(
     overlap_io_compute: bool = False,
     audit: bool = False,
     telemetry: bool = False,
+    faults: FaultSpec | dict | None = None,
 ) -> BatchResult:
     """Run a whole batch under one scheduler; returns the end-to-end result.
 
@@ -150,6 +152,14 @@ def run_batch(
         counters/gauges/spans snapshot) and ``result.runtime`` (for trace
         export). Scalar metrics are also published as ``metrics/*`` gauges
         so parallel workers' per-cell snapshots carry them.
+    faults:
+        Fault-injection spec (:class:`~repro.faults.FaultSpec`, its JSON
+        dict form, or ``None``). Crashed nodes hand their unfinished tasks
+        back to the pending pool and the scheduler is re-invoked on the
+        surviving platform; transient transfer failures are retried with
+        exponential backoff and source failover inside the runtime. A null
+        spec is equivalent to ``None``: the simulation is bit-identical to
+        a fault-free run. See ``docs/faults.md``.
     """
     if isinstance(scheduler, str):
         scheduler = make_scheduler(scheduler, **(scheduler_kwargs or {}))
@@ -172,6 +182,7 @@ def run_batch(
             overlap_io_compute=overlap_io_compute,
             audit=audit,
             telemetry=telemetry,
+            fault_spec=resolve_spec(faults),
         )
     finally:
         if telemetry and not was_enabled:
@@ -191,6 +202,7 @@ def _run_batch_inner(
     overlap_io_compute: bool,
     audit: bool,
     telemetry: bool,
+    fault_spec: FaultSpec | None,
 ) -> BatchResult:
 
     # The paper assumes every single task's files fit on a compute node
@@ -206,6 +218,7 @@ def _run_batch_inner(
             )
 
     state = ClusterState.initial(platform, batch)
+    fault_model = FaultModel(fault_spec) if fault_spec is not None else None
     runtime = Runtime(
         platform,
         state,
@@ -214,6 +227,7 @@ def _run_batch_inner(
         ordering=ordering,
         overlap_io_compute=overlap_io_compute,
         audit=audit,
+        faults=fault_model,
     )
     policy = eviction_policy if eviction_policy is not None else scheduler.eviction_policy(batch)
     pending: list[str] = [t.task_id for t in batch.tasks]
@@ -242,6 +256,7 @@ def _run_batch_inner(
                     _pre_evict(plan, batch, state, policy, trail=runtime.trail)
 
             tasks = [batch.task(t) for t in plan.task_ids]
+            dead_before = len(state.dead_nodes)
             with tele.span("execute"):
                 execution = runtime.execute(
                     tasks,
@@ -257,11 +272,35 @@ def _run_batch_inner(
             result.scheduling_seconds += sched_seconds
             tele.count("driver/sub_batches")
             tele.count("driver/tasks", len(plan.task_ids))
-            done = set(plan.task_ids)
+            failed = set(execution.failed_tasks)
+            done = set(plan.task_ids) - failed
+            if failed:
+                # Dynamic rescheduling: tasks from a crashed node rejoin
+                # the pending pool (keeping submission order) and the next
+                # loop iteration re-invokes the scheduler against the
+                # surviving platform.
+                assert fault_model is not None
+                fault_model.stats.tasks_rescheduled += len(failed)
+                tele.count("faults/tasks_rescheduled", len(failed))
+                if not done and len(state.dead_nodes) == dead_before:
+                    raise RuntimeError(
+                        f"scheduler {scheduler.name} made no progress: every "
+                        f"task of the sub-batch failed without a new crash"
+                    )
+                if not state.alive_nodes():
+                    raise RuntimeError(
+                        f"all compute nodes have crashed with "
+                        f"{len(pending)} task(s) pending"
+                    )
             pending = [t for t in pending if t not in done]
 
     result.makespan = runtime.clock
     result.stats = state.stats
+    if fault_model is not None:
+        result.fault_stats = fault_model.stats
+        if telemetry:
+            for key, value in fault_model.stats.to_dict().items():
+                tele.gauge(f"faults/{key}", float(value))
     if telemetry:
         from ..obs.metrics import compute_metrics
 

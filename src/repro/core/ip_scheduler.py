@@ -141,6 +141,13 @@ class IPScheduler(Scheduler):
             for i in range(c)
         }
 
+        # Fault injection: crashed nodes take no tasks and hold no files.
+        # Without faults ``dead_nodes`` is empty and the model is untouched.
+        if state.dead_nodes:
+            for (_, i), var in (*tvar.items(), *xvar.items()):
+                if i in state.dead_nodes:
+                    m.add_constr(var <= 0)
+
         # Eq. 15: allocating a task stages all its files on the node.
         for t in tasks:
             for i in range(c):
@@ -207,7 +214,15 @@ class IPScheduler(Scheduler):
         state: ClusterState,
     ) -> list[Task]:
         """Capacity-only fallback: pack tasks by increasing footprint."""
-        budget = platform.aggregate_disk_space
+        if state.dead_nodes:
+            budget = float(
+                sum(
+                    platform.compute_nodes[n].disk_space_mb
+                    for n in state.alive_nodes()
+                )
+            )
+        else:
+            budget = platform.aggregate_disk_space
         chosen: list[Task] = []
         used: set[str] = set()
         used_mb = 0.0
@@ -255,6 +270,16 @@ class IPScheduler(Scheduler):
             for j in range(c)
             if i != j
         }
+
+        # Fault injection: pin every decision touching a crashed node to
+        # zero. No constraints are added when nothing has crashed.
+        if state.dead_nodes:
+            for (_, i), var in (*tvar.items(), *xvar.items(), *rvar.items()):
+                if i in state.dead_nodes:
+                    m.add_constr(var <= 0)
+            for (i, j, _), var in yvar.items():
+                if i in state.dead_nodes or j in state.dead_nodes:
+                    m.add_constr(var <= 0)
 
         # Pre-built demand expressions for Eq. 2: does any task needing f
         # land on node j?
@@ -401,11 +426,13 @@ class IPScheduler(Scheduler):
         state: ClusterState,
     ) -> SubBatchPlan:
         """Load-balancing fallback when the solver yields no incumbent."""
-        c = platform.num_compute
-        load = [0.0] * c
+        nodes = state.alive_nodes()
+        if not nodes:
+            raise RuntimeError("no surviving compute nodes to schedule on")
+        load = {i: 0.0 for i in nodes}
         mapping: dict[str, int] = {}
         for t in sorted(tasks, key=lambda t: -t.compute_time):
-            i = min(range(c), key=lambda i: load[i])
+            i = min(nodes, key=lambda i: load[i])
             mapping[t.task_id] = i
             load[i] += t.compute_time + batch.task_input_mb(t) / 100.0
         return SubBatchPlan(

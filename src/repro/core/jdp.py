@@ -61,7 +61,12 @@ class JobDataPresentScheduler(Scheduler):
         state: ClusterState,
     ) -> SubBatchPlan:
         tasks = [batch.task(t) for t in pending]
-        c = platform.num_compute
+        # Only surviving nodes are placement targets (fault injection);
+        # without faults this is every compute node, unchanged.
+        nodes = state.alive_nodes()
+        if not nodes:
+            raise RuntimeError("no surviving compute nodes to schedule on")
+        c = len(nodes)
 
         # --- Data Least Loaded: pick replication pushes up front -------------
         counts: dict[str, int] = {}
@@ -79,11 +84,12 @@ class JobDataPresentScheduler(Scheduler):
         )
         for f in hot:
             holders = state.holders(f)
-            target = int(np.argmin(load))
+            pos = int(np.argmin(load))
+            target = nodes[pos]
             if target in holders:
                 continue
             plan.pushes.append((f, target))
-            load[target] += batch.file_size(f) / platform.min_remote_bandwidth
+            load[pos] += batch.file_size(f) / platform.min_remote_bandwidth
 
         # Projected placement including the pushes.
         placed: dict[str, set[int]] = {f: set(state.holders(f)) for f in counts}
@@ -119,18 +125,19 @@ class JobDataPresentScheduler(Scheduler):
         # Order tasks by their best-case completion time across nodes.
         order = sorted(
             tasks,
-            key=lambda t: min(exec_estimate(t, i) for i in range(c)),
+            key=lambda t: min(exec_estimate(t, i) for i in nodes),
         )
         mapping: dict[str, int] = {}
         for t in order:
             # Eligible = nodes minimising expected data transfer time; pick
             # the least loaded among them.
-            costs = [transfer_estimate(t, i) for i in range(c)]
+            costs = [transfer_estimate(t, i) for i in nodes]
             best = min(costs)
-            eligible = [i for i in range(c) if costs[i] <= best + 1e-9]
-            node = min(eligible, key=lambda i: load[i])
+            eligible = [p for p in range(c) if costs[p] <= best + 1e-9]
+            pos = min(eligible, key=lambda p: load[p])
+            node = nodes[pos]
             mapping[t.task_id] = node
-            load[node] += exec_estimate(t, node)
+            load[pos] += exec_estimate(t, node)
             for f in t.files:
                 placed[f].add(node)
 

@@ -79,7 +79,13 @@ class MinMinScheduler(Scheduler):
         state: ClusterState,
     ) -> dict[str, int]:
         tasks = [batch.task(t) for t in pending]
-        n, c = len(tasks), platform.num_compute
+        # Matrix columns cover only surviving nodes (fault injection may
+        # have crashed some); without faults this is every compute node and
+        # the arithmetic below is unchanged.
+        nodes = state.alive_nodes()
+        if not nodes:
+            raise RuntimeError("no surviving compute nodes to schedule on")
+        n, c = len(tasks), len(nodes)
         file_ids = sorted({f for t in tasks for f in t.files})
         fidx = {f: i for i, f in enumerate(file_ids)}
         sizes = np.array([batch.file_size(f) for f in file_ids])
@@ -91,10 +97,10 @@ class MinMinScheduler(Scheduler):
         )
         rep_t = sizes / platform.replication_bandwidth
 
-        # on_node[f, i]: file (planned to be) on compute node i.
+        # on_node[f, i]: file (planned to be) on the i-th surviving node.
         on_node = np.zeros((len(file_ids), c), dtype=bool)
-        for i in range(c):
-            for f in state.files_on(i):
+        for i, node in enumerate(nodes):
+            for f in state.files_on(node):
                 if f in fidx:
                     on_node[fidx[f], i] = True
         any_copy = on_node.any(axis=1)
@@ -105,9 +111,9 @@ class MinMinScheduler(Scheduler):
         total_mb = np.array([batch.task_input_mb(t) for t in tasks])
         compute = np.array([t.compute_time for t in tasks])
         local_bw = np.array(
-            [platform.compute_nodes[i].local_disk_bw for i in range(c)]
+            [platform.compute_nodes[node].local_disk_bw for node in nodes]
         )
-        speeds = np.array([platform.compute_nodes[i].speed for i in range(c)])
+        speeds = np.array([platform.compute_nodes[node].speed for node in nodes])
         fixed = total_mb[:, None] / local_bw[None, :] + compute[:, None] / speeds[None, :]
 
         def stage_row(k: int) -> np.ndarray:
@@ -141,14 +147,14 @@ class MinMinScheduler(Scheduler):
             mct[~unscheduled, :] = np.inf
             k, i = self._pick(mct)
             k, i = int(k), int(i)
-            mapping[tasks[k].task_id] = i
+            mapping[tasks[k].task_id] = nodes[i]
             if log is not None:
                 finite = np.isfinite(mct)
                 evaluated = int(finite.sum())
                 ties = int((np.abs(mct[finite] - mct[k, i]) <= _TIE_TOL).sum()) - 1
                 log.record(
                     tasks[k].task_id,
-                    i,
+                    nodes[i],
                     reason=self.pick_rule,
                     estimated_completion=float(mct[k, i]),
                     evaluated=evaluated,

@@ -14,6 +14,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
     from ..analysis.audit import AuditReport
     from ..cluster.runtime import Runtime
+    from ..faults import FaultStats
     from ..obs.decisions import DecisionLog
     from ..obs.metrics import RunMetrics
 
@@ -67,6 +68,8 @@ class BatchResult:
     decision_log: DecisionLog | None = None
     telemetry: dict[str, Any] | None = None
     runtime: Runtime | None = None
+    # Filled by run_batch(faults=...): injected/recovered fault accounting.
+    fault_stats: FaultStats | None = None
 
     @property
     def num_sub_batches(self) -> int:

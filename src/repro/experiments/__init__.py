@@ -1,5 +1,6 @@
 """Experiment harness reproducing every figure of the paper's evaluation."""
 
+from .faults import CHAOS_SCHEMES, chaos_sweep, degradation_curve
 from .figures import (
     fig3_image_overlap,
     fig4_sat_overlap,
@@ -33,4 +34,7 @@ __all__ = [
     "fig6b_scheduling_overhead",
     "replication_advantage_sweep",
     "generate_experiments_markdown",
+    "CHAOS_SCHEMES",
+    "chaos_sweep",
+    "degradation_curve",
 ]

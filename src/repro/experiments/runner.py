@@ -43,6 +43,9 @@ class ExperimentConfig:
     # Collect run telemetry/metrics (repro.obs). Non-semantic: does not
     # change the simulated result, and is excluded from the result-cache key.
     telemetry: bool = False
+    # Fault-injection spec (:class:`repro.faults.FaultSpec` as a dict), or
+    # ``None`` for a fault-free run. Semantic: part of the result-cache key.
+    faults: dict | None = None
 
     def platform(self) -> Platform:
         maker = osc_xio if self.storage == "xio" else osc_osumed
@@ -84,6 +87,7 @@ def run_config_result(cfg: ExperimentConfig) -> BatchResult:
         scheduler_kwargs=kwargs,
         audit=cfg.audit,
         telemetry=cfg.telemetry,
+        faults=cfg.faults,
     )
 
 

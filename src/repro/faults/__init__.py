@@ -1,0 +1,35 @@
+"""Deterministic fault injection for the batch runtime (``repro.faults``).
+
+Specs (:class:`FaultSpec`) declare node crashes, transient transfer
+failures, link slowdowns and disk-capacity losses; the runtime consumes
+them through a :class:`FaultModel` oracle whose draws are pure functions
+of the spec seed. See ``docs/faults.md``.
+"""
+
+from .model import FaultModel, FaultStats
+from .spec import DiskLoss, FaultSpec, LinkSlowdown, NodeCrash
+
+__all__ = [
+    "DiskLoss",
+    "FaultModel",
+    "FaultSpec",
+    "FaultStats",
+    "LinkSlowdown",
+    "NodeCrash",
+]
+
+
+def resolve_spec(faults) -> FaultSpec | None:
+    """Normalise driver/CLI input into a spec (``None`` stays ``None``).
+
+    Accepts a :class:`FaultSpec`, a JSON-style dict, or ``None``. A null
+    spec (injects nothing) also resolves to ``None`` so the runtime keeps
+    its exact fault-free code paths.
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, dict):
+        faults = FaultSpec.from_dict(faults)
+    if not isinstance(faults, FaultSpec):
+        raise TypeError(f"faults must be FaultSpec | dict | None, got {type(faults)!r}")
+    return None if faults.is_null else faults

@@ -1,0 +1,131 @@
+"""Runtime-facing fault model: deterministic draws over a :class:`FaultSpec`.
+
+The model is *stateless* in the probabilistic sense: whether a given
+transfer attempt fails is a pure function of
+``(seed, file, dest, staging instance, attempt)``, computed by hashing the
+tuple into a uniform number in ``[0, 1)``. The Gantt runtime evaluates
+tasks speculatively (many tentative ECT evaluations per commit), so a
+stateful RNG would make the committed schedule depend on evaluation order;
+counter-based draws make every speculative evaluation agree exactly with
+the eventual commit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from .spec import FaultSpec
+
+__all__ = ["FaultStats", "FaultModel"]
+
+
+@dataclass
+class FaultStats:
+    """Counters describing what was injected and how the run recovered."""
+
+    node_crashes: int = 0
+    transfer_failures: int = 0
+    retries: int = 0
+    failovers: int = 0
+    files_lost: int = 0
+    lost_mb: float = 0.0
+    disk_losses: int = 0
+    tasks_rescheduled: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "node_crashes": self.node_crashes,
+            "transfer_failures": self.transfer_failures,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "files_lost": self.files_lost,
+            "lost_mb": self.lost_mb,
+            "disk_losses": self.disk_losses,
+            "tasks_rescheduled": self.tasks_rescheduled,
+        }
+
+
+def _uniform(key: str) -> float:
+    """Map a string key to a uniform float in [0, 1) via BLAKE2b."""
+    digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+@dataclass
+class FaultModel:
+    """Deterministic oracle the runtime queries while scheduling.
+
+    One instance lives for the whole batch (it spans sub-batches, so the
+    per-``(file, dest)`` staging-instance counters keep advancing and
+    repeated stagings of the same file draw fresh failures).
+    """
+
+    spec: FaultSpec
+    stats: FaultStats = field(default_factory=FaultStats)
+
+    def __post_init__(self) -> None:
+        self._crash_times: dict[int, float] = {
+            c.node: c.time for c in self.spec.node_crashes
+        }
+
+    # -- node crashes ------------------------------------------------------
+
+    def crash_time(self, node: int) -> float:
+        """When ``node`` dies (``inf`` if it never does)."""
+        return self._crash_times.get(node, math.inf)
+
+    def crashed_by(self, node: int, time: float) -> bool:
+        return time >= self._crash_times.get(node, math.inf)
+
+    # -- transient transfer failures ---------------------------------------
+
+    def transfer_fails(
+        self, file_id: str, dest: int, instance: int, attempt: int
+    ) -> bool:
+        """Whether attempt ``attempt`` of staging instance ``instance`` of
+        ``file_id`` onto ``dest`` fails.
+
+        Pure function of its arguments and the spec seed — safe to call any
+        number of times during speculative evaluation. The final allowed
+        attempt (``spec.max_transfer_attempts - 1``) never fails.
+        """
+        rate = self.spec.transfer_failure_rate
+        if rate <= 0.0:
+            return False
+        if attempt >= self.spec.max_transfer_attempts - 1:
+            return False
+        key = f"{self.spec.seed}:{file_id}:{dest}:{instance}:{attempt}"
+        return _uniform(key) < rate
+
+    def backoff(self, attempt: int) -> float:
+        """Simulated-seconds delay after failed attempt number ``attempt``."""
+        spec = self.spec
+        return min(
+            spec.backoff_cap_s, spec.backoff_base_s * spec.backoff_factor**attempt
+        )
+
+    # -- link slowdowns ----------------------------------------------------
+
+    def slowdown_factor(self, kind: str, time: float) -> float:
+        """Bandwidth divisor for a ``kind`` transfer starting at ``time``.
+
+        Overlapping windows compound multiplicatively.
+        """
+        factor = 1.0
+        for window in self.spec.link_slowdowns:
+            if window.scope not in ("all", kind):
+                continue
+            if window.start <= time < window.end:
+                factor *= window.factor
+        return factor
+
+    # -- disk losses -------------------------------------------------------
+
+    def disk_losses_through(self, time: float) -> list[tuple[int, float]]:
+        """All ``(node, lost_mb)`` losses with event time <= ``time``."""
+        return [
+            (d.node, d.lost_mb) for d in self.spec.disk_losses if d.time <= time
+        ]

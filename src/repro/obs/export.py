@@ -137,6 +137,11 @@ def build_manifest(
         "telemetry": dict(snapshot) if snapshot is not None else None,
         "decisions": decisions.summary(records) if decisions is not None else None,
     }
+    # Fault-injection runs carry their recovery counters; fault-free runs
+    # omit the key entirely so existing golden manifests stay byte-stable.
+    fault_stats = getattr(result, "fault_stats", None)
+    if fault_stats is not None:
+        manifest["faults"] = fault_stats.to_dict()
     out = _jsonable(manifest)
     assert isinstance(out, dict)
     return out
@@ -189,6 +194,9 @@ def manifest_to_ndjson(manifest: Mapping[str, Any]) -> Iterator[str]:
     decisions = manifest.get("decisions")
     if decisions is not None:
         yield json.dumps({"type": "decisions", **decisions}, allow_nan=False)
+    faults = manifest.get("faults")
+    if faults is not None:
+        yield json.dumps({"type": "faults", **faults}, allow_nan=False)
 
 
 def write_ndjson(manifest: Mapping[str, Any], path: str | Path) -> Path:

@@ -32,7 +32,10 @@ __all__ = ["CACHE_SALT", "DEFAULT_CACHE_DIR", "CacheStats", "ResultCache", "conf
 # Bump whenever the meaning of a cached Record changes (simulator semantics,
 # Record fields, workload generators, ...). Combined with ``__version__`` in
 # every key, so version bumps also invalidate.
-CACHE_SALT = "repro-cache-v1"
+# v2: ExperimentConfig grew the semantic ``faults`` field — v1 keys were
+# hashed without it, so a faulty run could have collided with its fault-free
+# twin's cached Record.
+CACHE_SALT = "repro-cache-v2"
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 

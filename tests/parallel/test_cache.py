@@ -54,6 +54,29 @@ class TestConfigKey:
         b = cfg(scheduler_kwargs={"b": 2, "a": 1})
         assert config_key(a) == config_key(b)
 
+    def test_fault_spec_is_semantic(self):
+        # Regression guard: a faulty run must never collide with its
+        # fault-free twin's cached Record (CACHE_SALT was bumped to v2
+        # when the faults field was added for exactly this reason).
+        base = config_key(cfg(), "high")
+        flaky = config_key(cfg(faults={"transfer_failure_rate": 0.2}), "high")
+        assert flaky != base
+        assert (
+            config_key(cfg(faults={"transfer_failure_rate": 0.4}), "high")
+            != flaky
+        )
+        assert (
+            config_key(cfg(faults={"transfer_failure_rate": 0.2}), "high")
+            == flaky
+        )
+        crash = config_key(
+            cfg(faults={"node_crashes": [{"node": 1, "time": 5.0}]}), "high"
+        )
+        assert crash not in (base, flaky)
+
+    def test_salt_invalidates_pre_fault_entries(self):
+        assert CACHE_SALT != "repro-cache-v1"
+
 
 class TestResultCache:
     def test_miss_then_hit_round_trip(self, tmp_path):
