@@ -1,18 +1,29 @@
 """Static analysis and post-hoc verification tooling for the reproduction.
 
-Two coordinated correctness layers on top of the simulator:
+Four coordinated correctness layers on top of the simulator:
 
 * :mod:`repro.analysis.lint` — repo-specific AST lint rules (RPR001–RPR005)
   guarding the determinism and numerical hygiene the result cache and the
   paper's cost model depend on.  Run as ``python -m repro.analysis.lint
   src/repro`` or ``repro lint``.
+* :mod:`repro.analysis.units` — a flow-sensitive dimensional-analysis
+  checker (RPR006–RPR008) that propagates the physical units declared in
+  :mod:`repro.analysis.dims` (MB, MB/s, seconds) through the simulator's
+  arithmetic and flags mixed-dimension operations before any run.  Run as
+  ``repro units``.
+* :mod:`repro.analysis.purity` — a parallel-purity lint (RPR009) that walks
+  every function submitted to the process pool (:mod:`repro.parallel.pool`)
+  plus its transitive callees, flagging hidden state that would make results
+  depend on worker assignment.  Run as ``repro purity``.
 * :mod:`repro.analysis.audit` — a schedule auditor that re-verifies executed
   Gantt traces against the paper's execution-time invariants (single-port
   model, staged-before-execute, disk capacity), mirroring how
   :func:`repro.core.validate.validate_plan` oracles *plans*.  Run via
   ``run_batch(..., audit=True)`` or ``repro audit``.
 
-``docs/invariants.md`` catalogues every invariant both layers enforce.
+``docs/invariants.md`` catalogues the invariants the lint and audit layers
+enforce; ``docs/analysis.md`` catalogues the full RPR001–RPR009 rule set and
+the dimension conventions.
 """
 
 from typing import Any
@@ -24,6 +35,8 @@ __all__ = [
     "audit_runtime",
     "Finding",
     "Rule",
+    "check_purity_paths",
+    "check_units_paths",
     "iter_rules",
     "lint_paths",
     "lint_source",
@@ -49,4 +62,12 @@ def __getattr__(name: str) -> Any:
         from . import audit
 
         return getattr(audit, name)
+    if name == "check_units_paths":
+        from . import units
+
+        return units.check_paths
+    if name == "check_purity_paths":
+        from . import purity
+
+        return purity.check_paths
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

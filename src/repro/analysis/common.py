@@ -1,0 +1,149 @@
+"""Shared machinery for the repro static checkers (lint, units, purity).
+
+Every checker produces :class:`Finding` objects, honours the same
+``# repro: noqa[RPRnnn]`` escape, and renders through the same three output
+formats (``text``, ``json``, ``github``), so that lives here once.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "FORMATS",
+    "Finding",
+    "Rule",
+    "filter_findings",
+    "iter_py_files",
+    "noqa_codes",
+    "render_findings",
+]
+
+FORMATS = ("text", "json", "github")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: its code and a one-line description."""
+
+    code: str
+    summary: str
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One finding, pointing at ``path:line:col``.
+
+    ``end_line`` is the last source line of the offending node (when known):
+    a ``# repro: noqa`` on either the first or the last line suppresses the
+    finding, so multi-line expressions can carry the escape on their
+    continuation line.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    end_line: int | None = None
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+
+def noqa_codes(source_line: str) -> frozenset[str] | None:
+    """Codes suppressed on this line (empty set = all), or ``None``."""
+    m = _NOQA_RE.search(source_line)
+    if m is None:
+        return None
+    codes = m.group("codes")
+    if codes is None:
+        return frozenset()
+    return frozenset(c.strip().upper() for c in codes.split(",") if c.strip())
+
+
+def _suppressed_on(line_text: str, code: str) -> bool:
+    suppressed = noqa_codes(line_text)
+    return suppressed is not None and (not suppressed or code in suppressed)
+
+
+def filter_findings(
+    findings: Iterable[Finding],
+    source_lines: Sequence[str],
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Sort findings, apply ``--select``, and drop ``noqa``-suppressed ones."""
+    wanted = frozenset(select) if select else None
+    out: list[Finding] = []
+    for f in sorted(findings, key=lambda f: (f.line, f.col, f.code)):
+        if wanted is not None and f.code not in wanted:
+            continue
+        lines_to_check = {f.line}
+        if f.end_line is not None:
+            lines_to_check.add(f.end_line)
+        hit = False
+        for ln in lines_to_check:
+            text = source_lines[ln - 1] if 0 < ln <= len(source_lines) else ""
+            if _suppressed_on(text, f.code):
+                hit = True
+                break
+        if not hit:
+            out.append(f)
+    return out
+
+
+def iter_py_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files or directories), sorted."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        else:
+            yield p
+
+
+def render_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
+    """Render findings in one of :data:`FORMATS`.
+
+    ``github`` emits ``::error`` workflow commands so findings annotate the
+    offending lines inline on pull requests; ``json`` emits a list of
+    finding dicts for tooling.
+    """
+    n = len(findings)
+    if fmt == "json":
+        return json.dumps(
+            [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "end_line": f.end_line,
+                    "code": f.code,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+            indent=2,
+        )
+    lines: list[str] = []
+    if fmt == "github":
+        for f in findings:
+            # Workflow-command syntax: properties before ::, free text after.
+            msg = f.message.replace("%", "%25").replace("\n", "%0A")
+            lines.append(
+                f"::error file={f.path},line={f.line},col={f.col + 1},"
+                f"title={f.code}::{msg}"
+            )
+    else:
+        lines.extend(str(f) for f in findings)
+    lines.append(f"{n} finding{'s' if n != 1 else ''}" if n else "clean: no findings")
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Dimension vocabulary for the simulator's quantitative code.
+
+Every cost equation of the paper (Eqs. 9-13, 25) mixes file sizes (MB),
+bandwidths (MB/s), simulated time (s) and dimensionless counts, yet Python
+represents all of them as ``float``.  This module gives each quantity a
+name that is
+
+* **zero-cost at runtime** — the aliases are ``typing.Annotated[float, ...]``
+  wrappers, so annotated code behaves exactly as before;
+* **transparent to mypy** — strict type checking still sees ``float``;
+* **visible to the static checker** — :mod:`repro.analysis.units` reads the
+  annotations straight off the AST and verifies the arithmetic
+  (``MB / MBps -> Seconds``, ``MB + Seconds -> RPR006``, ...).
+
+Dimensions are exponent vectors over the two base units the paper uses,
+``data`` (MB) and ``time`` (seconds)::
+
+    MB            = (data=1, time=0)
+    MBps          = (data=1, time=-1)
+    Seconds       = (data=0, time=1)
+    SecondsPerMB  = (data=-1, time=1)     # compute cost per MB, Eq. 10
+    Count         = (data=0, time=0)      # integral tallies
+    Dimensionless = (data=0, time=0)      # ratios, factors, speeds
+
+Scale is *not* tracked: ``Milliseconds`` shares ``Seconds``' exponents, so
+the checker treats a ms/s mixup as dimensionally fine — the vocabulary
+exists to catch category errors (a bandwidth where a time belongs), not
+unit-prefix slips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Annotated
+
+__all__ = [
+    "Dim",
+    "MB",
+    "MBps",
+    "Seconds",
+    "Milliseconds",
+    "SecondsPerMB",
+    "Count",
+    "Dimensionless",
+    "DIMS_BY_NAME",
+    "convention_dim",
+]
+
+
+@dataclass(frozen=True)
+class Dim:
+    """One dimension: exponents over the (data, time) base units."""
+
+    data: int = 0
+    time: int = 0
+    label: str = ""
+
+    def __repr__(self) -> str:
+        return self.label or f"Dim(data={self.data}, time={self.time})"
+
+
+#: File sizes, disk capacities, transferred volumes.
+MB = Annotated[float, Dim(data=1, label="MB")]
+#: Bandwidths: disk, network, shared links.
+MBps = Annotated[float, Dim(data=1, time=-1, label="MBps")]
+#: Simulated (or measured) durations and instants.
+Seconds = Annotated[float, Dim(time=1, label="Seconds")]
+#: Same exponents as Seconds; scale is not tracked (see module docstring).
+Milliseconds = Annotated[float, Dim(time=1, label="Milliseconds")]
+#: Compute cost per MB of input (Eq. 10's alpha).
+SecondsPerMB = Annotated[float, Dim(data=-1, time=1, label="SecondsPerMB")]
+#: Integral tallies: replica counts, eviction counts, task counts.
+Count = Annotated[int, Dim(label="Count")]
+#: Ratios and unitless factors: speeds, failure rates, slowdown factors.
+Dimensionless = Annotated[float, Dim(label="Dimensionless")]
+
+#: Alias name -> dimension, as the units checker resolves annotations.
+DIMS_BY_NAME: dict[str, Dim] = {
+    "MB": Dim(data=1, label="MB"),
+    "MBps": Dim(data=1, time=-1, label="MBps"),
+    "Seconds": Dim(time=1, label="Seconds"),
+    "Milliseconds": Dim(time=1, label="Milliseconds"),
+    "SecondsPerMB": Dim(data=-1, time=1, label="SecondsPerMB"),
+    "Count": Dim(label="Count"),
+    "Dimensionless": Dim(label="Dimensionless"),
+}
+
+
+def convention_dim(name: str) -> Dim | None:
+    """Dimension implied by the codebase's naming conventions, if any.
+
+    Used by the units checker to seed unannotated code: ``*_mb`` is a size,
+    ``*_bw``/``bw``/``*_mbps`` a bandwidth, ``*_s``/``*_seconds`` a time,
+    ``*_rate`` a dimensionless probability.  ``*_per_mb`` deliberately maps
+    to nothing except the explicit ``*_s_per_mb`` form — a "cost per MB" is
+    not itself megabytes.
+    """
+    if name.endswith("_s_per_mb"):
+        return DIMS_BY_NAME["SecondsPerMB"]
+    if name.endswith("_per_mb"):
+        return None
+    if name.endswith("_mb"):
+        return DIMS_BY_NAME["MB"]
+    if name.endswith("_mbps"):
+        return DIMS_BY_NAME["MBps"]
+    if name == "bw" or name.endswith("_bw"):
+        return DIMS_BY_NAME["MBps"]
+    if name.endswith(("_s", "_seconds")):
+        return DIMS_BY_NAME["Seconds"]
+    if name.endswith("_ms"):
+        return DIMS_BY_NAME["Milliseconds"]
+    if name.endswith("_rate"):
+        return DIMS_BY_NAME["Dimensionless"]
+    return None

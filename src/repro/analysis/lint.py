@@ -31,22 +31,25 @@ from __future__ import annotations
 
 import argparse
 import ast
-import re
 import sys
-from collections.abc import Iterator, Sequence
-from dataclasses import dataclass
+from collections.abc import Sequence
 from pathlib import Path
+
+from .common import (
+    FORMATS,
+    Finding,
+    Rule,
+    filter_findings,
+    iter_py_files,
+    noqa_codes,
+    render_findings,
+)
 
 __all__ = ["Finding", "Rule", "iter_rules", "lint_source", "lint_paths", "main"]
 
-
-@dataclass(frozen=True)
-class Rule:
-    """One lint rule: its code and a one-line description."""
-
-    code: str
-    summary: str
-
+# Back-compat aliases; the canonical home is repro.analysis.common.
+_noqa_codes = noqa_codes
+_iter_py_files = iter_py_files
 
 _RULES: tuple[Rule, ...] = (
     Rule("RPR001", "unseeded or process-global random number generation"),
@@ -60,20 +63,6 @@ _RULES: tuple[Rule, ...] = (
 def iter_rules() -> tuple[Rule, ...]:
     """All lint rules, in code order."""
     return _RULES
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One lint finding, pointing at ``path:line:col``."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
 
 
 # ``random`` module functions that route through the hidden global RNG.
@@ -115,21 +104,6 @@ _WALLCLOCK_DT_METHODS = frozenset({"now", "utcnow", "today"})
 # scheduler (``core``) or simulator (``cluster``) packages.
 _SIM_PACKAGE_DIRS = ("core", "cluster")
 
-_NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
-)
-
-
-def _noqa_codes(source_line: str) -> frozenset[str] | None:
-    """Codes suppressed on this line (empty set = all), or ``None``."""
-    m = _NOQA_RE.search(source_line)
-    if m is None:
-        return None
-    codes = m.group("codes")
-    if codes is None:
-        return frozenset()
-    return frozenset(c.strip().upper() for c in codes.split(",") if c.strip())
-
 
 class _Imports:
     """Names bound to the modules/classes the rules care about."""
@@ -156,7 +130,8 @@ class _Visitor(ast.NodeVisitor):
     def _add(self, node: ast.AST, code: str, message: str) -> None:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
-        self.findings.append(Finding(self.path, line, col, code, message))
+        end_line = getattr(node, "end_lineno", None)
+        self.findings.append(Finding(self.path, line, col, code, message, end_line))
 
     # -- imports ---------------------------------------------------------------
     def visit_Import(self, node: ast.Import) -> None:
@@ -431,28 +406,7 @@ def lint_source(
         ]
     visitor = _Visitor(str(p), _is_sim_module(p))
     visitor.visit(tree)
-
-    lines = source.splitlines()
-    wanted = frozenset(select) if select else None
-    out: list[Finding] = []
-    for f in sorted(visitor.findings, key=lambda f: (f.line, f.col, f.code)):
-        if wanted is not None and f.code not in wanted:
-            continue
-        line_text = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
-        suppressed = _noqa_codes(line_text)
-        if suppressed is not None and (not suppressed or f.code in suppressed):
-            continue
-        out.append(f)
-    return out
-
-
-def _iter_py_files(paths: Sequence[str | Path]) -> Iterator[Path]:
-    for raw in paths:
-        p = Path(raw)
-        if p.is_dir():
-            yield from sorted(p.rglob("*.py"))
-        else:
-            yield p
+    return filter_findings(visitor.findings, source.splitlines(), select)
 
 
 def lint_paths(
@@ -482,6 +436,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rules and exit"
     )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text",
+        help="output format (github emits ::error workflow annotations)",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -490,10 +448,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     findings = lint_paths(args.paths, args.select)
-    for f in findings:
-        print(f)
-    n = len(findings)
-    print(f"{n} finding{'s' if n != 1 else ''}" if n else "clean: no findings")
+    print(render_findings(findings, args.format))
     return 1 if findings else 0
 
 

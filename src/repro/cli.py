@@ -22,8 +22,15 @@ Commands
     time went (top span paths); optionally write a merged Chrome trace
     (simulated Gantt chart + wall-clock telemetry spans) for Perfetto.
 ``lint``
-    Run the repo-specific static lint rules (RPR001–RPR005, see
-    :mod:`repro.analysis.lint`) over source paths.
+    Run every repo-specific static check (RPR001–RPR009: the AST lint
+    rules, the dimensional-analysis checker and the parallel-purity lint)
+    over source paths.
+``units``
+    Run only the dimensional-analysis checker (RPR006–RPR008, see
+    :mod:`repro.analysis.units`): proves MB / MB/s / seconds never mix.
+``purity``
+    Run only the parallel-purity lint (RPR009, see
+    :mod:`repro.analysis.purity`) over the process-pool worker functions.
 ``audit``
     Execute a batch with the audit trail enabled and verify the resulting
     Gantt trace against the execution invariants E1–E7
@@ -48,6 +55,8 @@ Examples
     python -m repro metrics fig5b --tasks 24 --out manifest.json
     python -m repro profile fig5b --tasks 24 --trace profile.trace.json
     python -m repro lint src/repro
+    python -m repro units src/repro --format github
+    python -m repro purity src/repro --entry repro.parallel.pool:_run_cell
     python -m repro audit --workload sat --tasks 30 --schemes minmin jdp
     python -m repro chaos --tasks 30 --rates 0 0.2 0.4 --json degradation.json
 """
@@ -270,19 +279,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pp.add_argument("--top", type=int, default=10, help="span paths to print")
 
+    def _add_check_args(p: argparse.ArgumentParser):
+        p.add_argument(
+            "paths", nargs="*", default=["src/repro"],
+            help="files or directories to check (default: src/repro)",
+        )
+        p.add_argument(
+            "--select", nargs="+", metavar="RPRnnn", default=None,
+            help="only run the given rule codes",
+        )
+        p.add_argument(
+            "--list-rules", action="store_true", help="print the rules and exit"
+        )
+        p.add_argument(
+            "--format", choices=("text", "json", "github"), default="text",
+            help="output format (github = ::error workflow commands)",
+        )
+
     pl = sub.add_parser(
-        "lint", help="run the repo-specific static lint rules (RPR001-RPR005)"
+        "lint", help="run every repo-specific static check (RPR001-RPR009)"
     )
-    pl.add_argument(
-        "paths", nargs="*", default=["src/repro"],
-        help="files or directories to lint (default: src/repro)",
+    _add_check_args(pl)
+
+    pu = sub.add_parser(
+        "units", help="dimensional-analysis checker (RPR006-RPR008)"
     )
-    pl.add_argument(
-        "--select", nargs="+", metavar="RPRnnn", default=None,
-        help="only run the given rule codes",
+    _add_check_args(pu)
+
+    pp2 = sub.add_parser(
+        "purity", help="parallel-purity lint over pool workers (RPR009)"
     )
-    pl.add_argument(
-        "--list-rules", action="store_true", help="print the rules and exit"
+    _add_check_args(pp2)
+    pp2.add_argument(
+        "--entry", action="append", metavar="module:function", default=None,
+        help="check this worker entry point instead of auto-discovery",
+    )
+    pp2.add_argument(
+        "--allow-env", action="append", metavar="NAME", default=None,
+        help="environment variable workers may read without a finding",
     )
 
     pa = sub.add_parser(
@@ -809,17 +843,51 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from .analysis.lint import iter_rules, lint_paths
+    """All nine checks in one pass: AST lint + units + purity."""
+    from .analysis import lint, purity, units
+    from .analysis.common import render_findings
 
     if args.list_rules:
-        for rule in iter_rules():
+        for rule in (*lint.iter_rules(), *units.iter_rules(), *purity.iter_rules()):
             print(f"{rule.code}  {rule.summary}")
         return 0
-    findings = lint_paths(args.paths, args.select)
-    for f in findings:
-        print(f)
-    n = len(findings)
-    print(f"{n} finding{'s' if n != 1 else ''}" if n else "clean: no findings")
+    findings = sorted(
+        [
+            *lint.lint_paths(args.paths, args.select),
+            *units.check_paths(args.paths, args.select),
+            *purity.check_paths(args.paths, args.select),
+        ],
+        key=lambda f: (f.path, f.line, f.col, f.code),
+    )
+    print(render_findings(findings, args.format))
+    return 1 if findings else 0
+
+
+def _cmd_units(args) -> int:
+    from .analysis import units
+    from .analysis.common import render_findings
+
+    if args.list_rules:
+        for rule in units.iter_rules():
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+    findings = units.check_paths(args.paths, args.select)
+    print(render_findings(findings, args.format))
+    return 1 if findings else 0
+
+
+def _cmd_purity(args) -> int:
+    from .analysis import purity
+    from .analysis.common import render_findings
+
+    if args.list_rules:
+        for rule in purity.iter_rules():
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+    findings = purity.check_paths(
+        args.paths, args.select, entries=args.entry, allow_env=args.allow_env
+    )
+    print(render_findings(findings, args.format))
     return 1 if findings else 0
 
 
@@ -929,6 +997,8 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": _cmd_metrics,
         "profile": _cmd_profile,
         "lint": _cmd_lint,
+        "units": _cmd_units,
+        "purity": _cmd_purity,
         "audit": _cmd_audit,
         "chaos": _cmd_chaos,
     }

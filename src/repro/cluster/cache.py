@@ -12,6 +12,8 @@ import math
 from dataclasses import dataclass
 from collections.abc import Callable, Iterable
 
+from ..analysis.dims import MB, Count, Seconds
+
 __all__ = ["CacheFullError", "DiskCache"]
 
 
@@ -21,9 +23,9 @@ class CacheFullError(RuntimeError):
 
 @dataclass
 class _Entry:
-    size_mb: float
-    pin_count: int = 0
-    last_use: float = 0.0
+    size_mb: MB
+    pin_count: Count = 0
+    last_use: Seconds = 0.0
 
 
 class DiskCache:
@@ -35,36 +37,36 @@ class DiskCache:
         Disk space available; ``math.inf`` models the unlimited-cache case.
     """
 
-    def __init__(self, node_id: int, capacity_mb: float = math.inf) -> None:
+    def __init__(self, node_id: int, capacity_mb: MB = math.inf) -> None:
         if capacity_mb <= 0:
             raise ValueError("capacity must be positive")
         self.node_id = node_id
-        self.capacity_mb = capacity_mb
+        self.capacity_mb: MB = capacity_mb
         self._entries: dict[str, _Entry] = {}
-        self._used = 0.0
-        self.evictions = 0
-        self.evicted_volume = 0.0
+        self._used: MB = 0.0
+        self.evictions: Count = 0
+        self.evicted_volume: MB = 0.0
 
     # -- queries ---------------------------------------------------------------
     def __contains__(self, file_id: str) -> bool:
         return file_id in self._entries
 
     @property
-    def used_mb(self) -> float:
+    def used_mb(self) -> MB:
         return self._used
 
     @property
-    def free_mb(self) -> float:
+    def free_mb(self) -> MB:
         return self.capacity_mb - self._used
 
     @property
     def files(self) -> tuple[str, ...]:
         return tuple(self._entries)
 
-    def size_of(self, file_id: str) -> float:
+    def size_of(self, file_id: str) -> MB:
         return self._entries[file_id].size_mb
 
-    def last_use(self, file_id: str) -> float:
+    def last_use(self, file_id: str) -> Seconds:
         return self._entries[file_id].last_use
 
     def is_pinned(self, file_id: str) -> bool:
@@ -72,7 +74,7 @@ class DiskCache:
         return e is not None and e.pin_count > 0
 
     # -- mutation ----------------------------------------------------------------
-    def add(self, file_id: str, size_mb: float, now: float = 0.0) -> None:
+    def add(self, file_id: str, size_mb: MB, now: Seconds = 0.0) -> None:
         """Record a staged file; caller must have ensured space first."""
         if file_id in self._entries:
             self._entries[file_id].last_use = now
@@ -85,19 +87,19 @@ class DiskCache:
         self._entries[file_id] = _Entry(size_mb=size_mb, last_use=now)
         self._used += size_mb
 
-    def remove(self, file_id: str) -> float:
+    def remove(self, file_id: str) -> MB:
         """Drop a file (eviction bookkeeping is the caller's job)."""
         e = self._entries.pop(file_id)
         self._used -= e.size_mb
         return e.size_mb
 
-    def drop_unconditionally(self, file_id: str) -> float:
+    def drop_unconditionally(self, file_id: str) -> MB:
         """Drop a file even if pinned (node crash — the copy is destroyed)."""
         return self.remove(file_id)
 
     def shrink(
         self,
-        lost_mb: float,
+        lost_mb: MB,
         victim_order: Callable[[Iterable[str]], list[str]],
         on_evict: Callable[[str], None] | None = None,
     ) -> list[str]:
@@ -130,7 +132,7 @@ class DiskCache:
             )
         return victims
 
-    def touch(self, file_id: str, now: float) -> None:
+    def touch(self, file_id: str, now: Seconds) -> None:
         self._entries[file_id].last_use = now
 
     def pin(self, file_id: str) -> None:
@@ -145,7 +147,7 @@ class DiskCache:
     # -- eviction ----------------------------------------------------------------
     def ensure_space(
         self,
-        needed_mb: float,
+        needed_mb: MB,
         victim_order: Callable[[Iterable[str]], list[str]],
         on_evict: Callable[[str], None] | None = None,
     ) -> list[str]:

@@ -17,17 +17,19 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
+from ..analysis.dims import Seconds
+
 __all__ = ["Interval", "Timeline", "Overlay", "earliest_common_slot"]
 
-_EPS = 1e-9
+_EPS: Seconds = 1e-9
 
 
 @dataclass(frozen=True, order=True)
 class Interval:
     """A closed-open busy interval ``[start, end)`` with a debug tag."""
 
-    start: float
-    end: float
+    start: Seconds
+    end: Seconds
     tag: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
@@ -35,7 +37,7 @@ class Interval:
             raise ValueError(f"interval end {self.end} before start {self.start}")
 
     @property
-    def duration(self) -> float:
+    def duration(self) -> Seconds:
         return self.end - self.start
 
 
@@ -55,14 +57,14 @@ class Timeline:
         return tuple(self._intervals)
 
     @property
-    def horizon(self) -> float:
+    def horizon(self) -> Seconds:
         """End of the last reservation (0 when empty)."""
         return self._intervals[-1].end if self._intervals else 0.0
 
-    def busy_time(self) -> float:
+    def busy_time(self) -> Seconds:
         return sum(iv.duration for iv in self._intervals)
 
-    def is_free(self, start: float, end: float) -> bool:
+    def is_free(self, start: Seconds, end: Seconds) -> bool:
         """True when ``[start, end)`` does not overlap any reservation."""
         if end - start <= _EPS:
             return True
@@ -73,14 +75,14 @@ class Timeline:
             return False
         return True
 
-    def next_free(self, t: float) -> float:
+    def next_free(self, t: Seconds) -> Seconds:
         """Earliest instant >= t that is not inside a reservation."""
         i = bisect_right(self._starts, t + _EPS)
         if i > 0 and self._intervals[i - 1].end > t + _EPS:
             return self._intervals[i - 1].end
         return t
 
-    def earliest_slot(self, duration: float, not_before: float = 0.0) -> float:
+    def earliest_slot(self, duration: Seconds, not_before: Seconds = 0.0) -> Seconds:
         """Earliest start >= not_before of a free gap of ``duration``."""
         if duration <= _EPS:
             return self.next_free(not_before)
@@ -96,7 +98,7 @@ class Timeline:
             i += 1
         return t
 
-    def reserve(self, start: float, duration: float, tag: str = "") -> Interval:
+    def reserve(self, start: Seconds, duration: Seconds, tag: str = "") -> Interval:
         """Reserve ``[start, start+duration)``; the slot must be free."""
         iv = Interval(start, start + duration, tag)
         if not self.is_free(iv.start, iv.end):
@@ -125,14 +127,14 @@ class Overlay:
         self.base = base
         self.virtual: list[Interval] = []
 
-    def is_free(self, start: float, end: float) -> bool:
+    def is_free(self, start: Seconds, end: Seconds) -> bool:
         if not self.base.is_free(start, end):
             return False
         return all(
             iv.end <= start + _EPS or iv.start >= end - _EPS for iv in self.virtual
         )
 
-    def earliest_slot(self, duration: float, not_before: float = 0.0) -> float:
+    def earliest_slot(self, duration: Seconds, not_before: Seconds = 0.0) -> Seconds:
         t = max(0.0, not_before)
         # Alternate between the base timeline and virtual intervals until
         # a common gap is found; terminates because t only increases.
@@ -148,7 +150,7 @@ class Overlay:
             t = t2
         raise RuntimeError("earliest_slot failed to converge")  # pragma: no cover
 
-    def reserve(self, start: float, duration: float, tag: str = "") -> Interval:
+    def reserve(self, start: Seconds, duration: Seconds, tag: str = "") -> Interval:
         iv = Interval(start, start + duration, tag)
         if not self.is_free(iv.start, iv.end):
             raise ValueError(f"overlay of {self.base.name!r}: slot busy")
@@ -164,9 +166,9 @@ class Overlay:
 
 def earliest_common_slot(
     resources: Sequence[Timeline | Overlay],
-    duration: float,
-    not_before: float = 0.0,
-) -> float:
+    duration: Seconds,
+    not_before: Seconds = 0.0,
+) -> Seconds:
     """Earliest start where *all* resources are free for ``duration``.
 
     Fixpoint iteration over per-resource ``earliest_slot``: each round pushes

@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..analysis.dims import MB, MBps, Count, Dimensionless, Seconds, SecondsPerMB
+
 __all__ = [
     "ComputeNode",
     "StorageNode",
@@ -29,8 +31,8 @@ __all__ = [
     "MBPS_8GBIT",
 ]
 
-MBPS_100MBIT = 12.5  # 100 Mbps Ethernet in MB/s
-MBPS_8GBIT = 1000.0  # 8 Gbps InfiniBand in MB/s
+MBPS_100MBIT: MBps = 12.5  # 100 Mbps Ethernet in MB/s
+MBPS_8GBIT: MBps = 1000.0  # 8 Gbps InfiniBand in MB/s
 
 
 @dataclass(frozen=True)
@@ -45,9 +47,9 @@ class ComputeNode:
     """
 
     node_id: int
-    disk_space_mb: float = math.inf
-    local_disk_bw: float = 200.0
-    speed: float = 1.0
+    disk_space_mb: MB = math.inf
+    local_disk_bw: MBps = 200.0
+    speed: Dimensionless = 1.0
 
     def __post_init__(self) -> None:
         if self.disk_space_mb <= 0:
@@ -63,7 +65,7 @@ class StorageNode:
     """A storage node with a single serialised port of ``disk_bw`` MB/s."""
 
     node_id: int
-    disk_bw: float = 210.0
+    disk_bw: MBps = 210.0
 
     def __post_init__(self) -> None:
         if self.disk_bw <= 0:
@@ -91,10 +93,10 @@ class Platform:
 
     compute_nodes: tuple[ComputeNode, ...]
     storage_nodes: tuple[StorageNode, ...]
-    storage_network_bw: float = MBPS_8GBIT
-    compute_network_bw: float = MBPS_8GBIT
-    shared_link_bw: float | None = None
-    compute_cost_per_mb: float = 0.001
+    storage_network_bw: MBps = MBPS_8GBIT
+    compute_network_bw: MBps = MBPS_8GBIT
+    shared_link_bw: MBps | None = None
+    compute_cost_per_mb: SecondsPerMB = 0.001
     name: str = "custom"
 
     def __post_init__(self) -> None:
@@ -115,19 +117,19 @@ class Platform:
 
     # -- derived quantities ----------------------------------------------------
     @property
-    def num_compute(self) -> int:
+    def num_compute(self) -> Count:
         return len(self.compute_nodes)
 
     @property
-    def num_storage(self) -> int:
+    def num_storage(self) -> Count:
         return len(self.storage_nodes)
 
     @property
-    def aggregate_disk_space(self) -> float:
+    def aggregate_disk_space(self) -> MB:
         """Total compute-cluster disk cache space (the BINW bound ``D``)."""
         return sum(n.disk_space_mb for n in self.compute_nodes)
 
-    def remote_bandwidth(self, storage_id: int) -> float:
+    def remote_bandwidth(self, storage_id: int) -> MBps:
         """Effective bandwidth of a remote transfer from ``storage_id``."""
         bw = min(self.storage_nodes[storage_id].disk_bw, self.storage_network_bw)
         if self.shared_link_bw is not None:
@@ -135,29 +137,29 @@ class Platform:
         return bw
 
     @property
-    def min_remote_bandwidth(self) -> float:
+    def min_remote_bandwidth(self) -> MBps:
         """``BW_s`` of Eq. 25: the minimum storage-to-compute bandwidth."""
         return min(self.remote_bandwidth(s.node_id) for s in self.storage_nodes)
 
     @property
-    def replication_bandwidth(self) -> float:
+    def replication_bandwidth(self) -> MBps:
         """``BW_c`` of Eq. 25: compute-node-to-compute-node bandwidth."""
         return self.compute_network_bw
 
-    def remote_transfer_time(self, storage_id: int, size_mb: float) -> float:
+    def remote_transfer_time(self, storage_id: int, size_mb: MB) -> Seconds:
         return size_mb / self.remote_bandwidth(storage_id)
 
-    def replication_time(self, size_mb: float) -> float:
+    def replication_time(self, size_mb: MB) -> Seconds:
         return size_mb / self.compute_network_bw
 
-    def local_read_time(self, node_id: int, size_mb: float) -> float:
+    def local_read_time(self, node_id: int, size_mb: MB) -> Seconds:
         return size_mb / self.compute_nodes[node_id].local_disk_bw
 
-    def compute_time(self, size_mb: float) -> float:
+    def compute_time(self, size_mb: MB) -> Seconds:
         """Reference-speed CPU time for ``size_mb`` of input."""
         return size_mb * self.compute_cost_per_mb
 
-    def task_compute_time(self, node_id: int, base_compute_time: float) -> float:
+    def task_compute_time(self, node_id: int, base_compute_time: Seconds) -> Seconds:
         """A task's CPU time on ``node_id`` given its reference-speed cost."""
         return base_compute_time / self.compute_nodes[node_id].speed
 
@@ -167,14 +169,14 @@ class Platform:
         return len(speeds) == 1
 
 
-def _compute_nodes(count: int, disk_space_mb: float) -> tuple[ComputeNode, ...]:
+def _compute_nodes(count: int, disk_space_mb: MB) -> tuple[ComputeNode, ...]:
     return tuple(ComputeNode(i, disk_space_mb=disk_space_mb) for i in range(count))
 
 
 def osc_xio(
     num_compute: int = 4,
     num_storage: int = 4,
-    disk_space_mb: float = math.inf,
+    disk_space_mb: MB = math.inf,
 ) -> Platform:
     """The OSC compute cluster coupled to the XIO storage pool.
 
@@ -194,7 +196,7 @@ def osc_xio(
 def osc_osumed(
     num_compute: int = 4,
     num_storage: int = 4,
-    disk_space_mb: float = math.inf,
+    disk_space_mb: MB = math.inf,
 ) -> Platform:
     """The OSC compute cluster using the OSUMED cluster as storage.
 

@@ -34,6 +34,7 @@ import heapq
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field, replace
 
+from ..analysis.dims import MB, Seconds
 from ..batch import Task
 from ..faults import FaultModel
 from .cache import CacheFullError
@@ -86,9 +87,9 @@ class _Tentative:
     overlays: dict[str, Overlay]
     transfers: list[tuple[str, str, int | None, float, float]]
     # (file_id, kind, source_node, start, duration)
-    transfers_done: float
-    exec_start: float
-    ect: float
+    transfers_done: Seconds
+    exec_start: Seconds
+    ect: Seconds
     # Injected transfer failures preceding the successful attempts
     # (fault model only): (file_id, size, kind, source, start, end, attempt).
     failed_attempts: list[tuple[str, float, str, int | None, float, float, int]] = (
@@ -128,7 +129,7 @@ class Runtime:
         # execution moves to a dedicated per-node CPU timeline so staging
         # for the next task can proceed during computation.
         self.overlap_io_compute = overlap_io_compute
-        self.clock = 0.0
+        self.clock: Seconds = 0.0
         self.node_tl = [Timeline(f"compute{i}") for i in range(platform.num_compute)]
         self.cpu_tl = (
             [Timeline(f"cpu{i}") for i in range(platform.num_compute)]
@@ -173,7 +174,7 @@ class Runtime:
             overlays[key] = Overlay(tl)
         return overlays[key]
 
-    def _avail_time(self, node: int, file_id: str) -> float:
+    def _avail_time(self, node: int, file_id: str) -> Seconds:
         return self._avail.get((node, file_id), self.clock)
 
     # -- source enumeration --------------------------------------------------------
@@ -207,7 +208,7 @@ class Runtime:
     def _transfer_resources(
         self, kind: str, source_node: int | None, dest: int, file_id: str,
         overlays: dict[str, Overlay],
-    ) -> tuple[list[Overlay], float, float]:
+    ) -> tuple[list[Overlay], float, Seconds]:
         """Overlays involved in a transfer, its bandwidth and earliest start."""
         dest_ov = self._overlay(overlays, self.node_tl[dest])
         if kind == "remote":
@@ -231,7 +232,7 @@ class Runtime:
         node: int,
         plan: StagingPlan | None,
         overlays: dict[str, Overlay],
-        floor: float,
+        floor: Seconds,
         exclude: frozenset[tuple[str, int | None]] = frozenset(),
     ) -> tuple[float, str, int | None, float, float, list[Overlay]] | None:
         """Min-TCT source for one transfer under the active fault model.
@@ -528,7 +529,7 @@ class Runtime:
             cache.unpin(f)
 
     # -- fault application --------------------------------------------------------------
-    def _kill_node(self, node: int, time: float) -> None:
+    def _kill_node(self, node: int, time: Seconds) -> None:
         """Permanently fail ``node``: drop its cache and log the crash."""
         faults = self.faults
         assert faults is not None
@@ -694,7 +695,7 @@ class Runtime:
             if self.candidate_limit is None or len(pend) <= self.candidate_limit:
                 return pend
             # Cheap pre-filter: tasks needing the least missing volume first.
-            def missing_mb(t: Task) -> float:
+            def missing_mb(t: Task) -> MB:
                 return sum(
                     self.state.size_of(f)
                     for f in t.files

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..analysis.dims import MB, Count, Seconds
 from ..batch import Batch, FileInfo
 from .cache import DiskCache
 from .platform import Platform
@@ -31,14 +32,14 @@ class TransferStats:
     :func:`repro.obs.metrics.conservation_residual_mb`).
     """
 
-    remote_transfers: int = 0
-    remote_volume_mb: float = 0.0
-    replications: int = 0
-    replication_volume_mb: float = 0.0
-    evictions: int = 0
-    evicted_volume_mb: float = 0.0
-    cache_hits: int = 0
-    cache_hit_volume_mb: float = 0.0
+    remote_transfers: Count = 0
+    remote_volume_mb: MB = 0.0
+    replications: Count = 0
+    replication_volume_mb: MB = 0.0
+    evictions: Count = 0
+    evicted_volume_mb: MB = 0.0
+    cache_hits: Count = 0
+    cache_hit_volume_mb: MB = 0.0
 
     def merge(self, other: TransferStats) -> TransferStats:
         return TransferStats(
@@ -82,14 +83,14 @@ class ClusterState:
         """Compute nodes currently caching ``file_id``."""
         return frozenset(self._holders.get(file_id, ()))
 
-    def num_copies(self, file_id: str) -> int:
+    def num_copies(self, file_id: str) -> Count:
         """Copies on the compute cluster (``Numcopies`` of Eq. 22)."""
         return len(self._holders.get(file_id, ()))
 
     def has_file(self, node_id: int, file_id: str) -> bool:
         return file_id in self.caches[node_id]
 
-    def size_of(self, file_id: str) -> float:
+    def size_of(self, file_id: str) -> MB:
         return self.files[file_id].size_mb
 
     def storage_node_of(self, file_id: str) -> int:
@@ -107,7 +108,7 @@ class ClusterState:
         ]
 
     # -- mutation ---------------------------------------------------------------
-    def place(self, node_id: int, file_id: str, now: float = 0.0) -> None:
+    def place(self, node_id: int, file_id: str, now: Seconds = 0.0) -> None:
         """Record that ``file_id`` is now cached on ``node_id``."""
         self.caches[node_id].add(file_id, self.size_of(file_id), now)
         self._holders.setdefault(file_id, set()).add(node_id)
@@ -153,19 +154,19 @@ class ClusterState:
             lost.append((file_id, size))
         return lost
 
-    def record_remote(self, size_mb: float) -> None:
+    def record_remote(self, size_mb: MB) -> None:
         self.stats.remote_transfers += 1
         self.stats.remote_volume_mb += size_mb
 
-    def record_replication(self, size_mb: float) -> None:
+    def record_replication(self, size_mb: MB) -> None:
         self.stats.replications += 1
         self.stats.replication_volume_mb += size_mb
 
-    def record_eviction(self, size_mb: float) -> None:
+    def record_eviction(self, size_mb: MB) -> None:
         self.stats.evictions += 1
         self.stats.evicted_volume_mb += size_mb
 
-    def record_cache_hit(self, size_mb: float) -> None:
+    def record_cache_hit(self, size_mb: MB) -> None:
         """A task input served from the local disk cache (no transfer)."""
         self.stats.cache_hits += 1
         self.stats.cache_hit_volume_mb += size_mb

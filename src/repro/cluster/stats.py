@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..analysis.dims import Seconds
 from .state import TransferStats
 
 __all__ = ["TaskRecord", "ExecutionResult"]
@@ -15,17 +16,17 @@ class TaskRecord:
 
     task_id: str
     node: int
-    transfers_done: float  # when the last input file became available
-    exec_start: float
-    completion: float
+    transfers_done: Seconds  # when the last input file became available
+    exec_start: Seconds
+    completion: Seconds
 
 
 @dataclass
 class ExecutionResult:
     """Outcome of executing one sub-batch through the runtime engine."""
 
-    start_time: float
-    makespan: float  # absolute completion time of the last task
+    start_time: Seconds
+    makespan: Seconds  # absolute completion time of the last task
     records: list[TaskRecord] = field(default_factory=list)
     stats: TransferStats = field(default_factory=TransferStats)
     # Tasks whose node crashed before they could run (fault injection);
@@ -33,7 +34,7 @@ class ExecutionResult:
     failed_tasks: list[str] = field(default_factory=list)
 
     @property
-    def elapsed(self) -> float:
+    def elapsed(self) -> Seconds:
         """Wall-clock duration of this sub-batch."""
         return self.makespan - self.start_time
 

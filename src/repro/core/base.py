@@ -5,6 +5,10 @@ already on compute nodes from earlier sub-batches) and produces the next
 :class:`~repro.core.plan.SubBatchPlan`. The driver (:mod:`repro.core.driver`)
 alternates scheduler calls with runtime execution and eviction until the
 batch drains, timing the scheduler calls to measure scheduling overhead.
+
+Unit conventions (checked by :mod:`repro.analysis.units`): file sizes and
+disk capacities are MB, bandwidths are MB/s, and every completion-time
+estimate a scheduler produces is in simulated seconds.
 """
 
 from __future__ import annotations

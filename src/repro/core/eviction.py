@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from typing import Protocol
 
+from ..analysis.dims import MB
 from ..batch import Batch
 from ..cluster.state import ClusterState
 
@@ -58,7 +59,8 @@ class PopularityPolicy:
     def update_pending(self, pending_counts: dict[str, int]) -> None:
         self._pending = dict(pending_counts)
 
-    def popularity(self, state: ClusterState, file_id: str) -> float:
+    def popularity(self, state: ClusterState, file_id: str) -> MB:
+        """Eq. 22 score: pending-access volume per existing copy (MB)."""
         freq = self._pending.get(file_id, 0)
         copies = max(1, state.num_copies(file_id))
         return freq * state.size_of(file_id) / copies

@@ -15,7 +15,9 @@ picks which task to commit from the MCT matrix:
   completion times.
 
 Both produce whole-batch mappings executed by the Section 6 runtime and are
-registered as ``"maxmin"`` and ``"sufferage"``.
+registered as ``"maxmin"`` and ``"sufferage"``. The shared MCT matrix is in
+simulated seconds throughout (see :mod:`repro.analysis.dims`); the picking
+rules only ever compare entries, never mix them with sizes or bandwidths.
 """
 
 from __future__ import annotations

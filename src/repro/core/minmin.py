@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.dims import Seconds
 from ..batch import Batch
 from ..cluster.platform import Platform
 from ..cluster.state import ClusterState
@@ -34,7 +35,7 @@ from .plan import SubBatchPlan
 __all__ = ["MinMinScheduler"]
 
 #: Candidates within this absolute MCT distance of the winner count as ties.
-_TIE_TOL = 1e-9
+_TIE_TOL: Seconds = 1e-9
 
 
 @register_scheduler("minmin")

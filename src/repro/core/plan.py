@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..analysis.dims import Count, Milliseconds, Seconds
+
 from ..cluster.runtime import StagingPlan
 from ..cluster.state import TransferStats
 from ..cluster.stats import ExecutionResult
@@ -46,7 +48,7 @@ class SubBatchResult:
 
     plan: SubBatchPlan
     execution: ExecutionResult
-    scheduling_seconds: float
+    scheduling_seconds: Seconds
 
 
 @dataclass
@@ -54,8 +56,8 @@ class BatchResult:
     """End-to-end result of running a batch under one scheduler."""
 
     scheduler: str
-    makespan: float
-    scheduling_seconds: float
+    makespan: Seconds
+    scheduling_seconds: Seconds
     sub_batches: list[SubBatchResult] = field(default_factory=list)
     stats: TransferStats = field(default_factory=TransferStats)
     # Filled by run_batch(audit=True): the execution-invariant audit.
@@ -72,15 +74,15 @@ class BatchResult:
     fault_stats: FaultStats | None = None
 
     @property
-    def num_sub_batches(self) -> int:
+    def num_sub_batches(self) -> Count:
         return len(self.sub_batches)
 
     @property
-    def num_tasks(self) -> int:
+    def num_tasks(self) -> Count:
         return sum(len(sb.plan.task_ids) for sb in self.sub_batches)
 
     @property
-    def scheduling_ms_per_task(self) -> float:
+    def scheduling_ms_per_task(self) -> Milliseconds:
         """Per-task scheduling overhead in milliseconds (Fig. 6b's metric)."""
         n = self.num_tasks
         return 1000.0 * self.scheduling_seconds / n if n else 0.0

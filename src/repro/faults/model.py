@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..analysis.dims import MB, Dimensionless, Seconds
 from .spec import FaultSpec
 
 __all__ = ["FaultStats", "FaultModel"]
@@ -31,7 +32,7 @@ class FaultStats:
     retries: int = 0
     failovers: int = 0
     files_lost: int = 0
-    lost_mb: float = 0.0
+    lost_mb: MB = 0.0
     disk_losses: int = 0
     tasks_rescheduled: int = 0
 
@@ -73,11 +74,11 @@ class FaultModel:
 
     # -- node crashes ------------------------------------------------------
 
-    def crash_time(self, node: int) -> float:
+    def crash_time(self, node: int) -> Seconds:
         """When ``node`` dies (``inf`` if it never does)."""
         return self._crash_times.get(node, math.inf)
 
-    def crashed_by(self, node: int, time: float) -> bool:
+    def crashed_by(self, node: int, time: Seconds) -> bool:
         return time >= self._crash_times.get(node, math.inf)
 
     # -- transient transfer failures ---------------------------------------
@@ -100,7 +101,7 @@ class FaultModel:
         key = f"{self.spec.seed}:{file_id}:{dest}:{instance}:{attempt}"
         return _uniform(key) < rate
 
-    def backoff(self, attempt: int) -> float:
+    def backoff(self, attempt: int) -> Seconds:
         """Simulated-seconds delay after failed attempt number ``attempt``."""
         spec = self.spec
         return min(
@@ -109,7 +110,7 @@ class FaultModel:
 
     # -- link slowdowns ----------------------------------------------------
 
-    def slowdown_factor(self, kind: str, time: float) -> float:
+    def slowdown_factor(self, kind: str, time: Seconds) -> Dimensionless:
         """Bandwidth divisor for a ``kind`` transfer starting at ``time``.
 
         Overlapping windows compound multiplicatively.
@@ -124,7 +125,7 @@ class FaultModel:
 
     # -- disk losses -------------------------------------------------------
 
-    def disk_losses_through(self, time: float) -> list[tuple[int, float]]:
+    def disk_losses_through(self, time: Seconds) -> list[tuple[int, float]]:
         """All ``(node, lost_mb)`` losses with event time <= ``time``."""
         return [
             (d.node, d.lost_mb) for d in self.spec.disk_losses if d.time <= time

@@ -29,6 +29,8 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any
 
+from ..analysis.dims import MB, Dimensionless, Seconds
+
 __all__ = ["NodeCrash", "LinkSlowdown", "DiskLoss", "FaultSpec"]
 
 
@@ -37,7 +39,7 @@ class NodeCrash:
     """Compute node ``node`` fails permanently at simulated time ``time``."""
 
     node: int
-    time: float
+    time: Seconds
 
     def __post_init__(self) -> None:
         if self.node < 0:
@@ -55,9 +57,9 @@ class LinkSlowdown:
     (storage-to-compute only) or ``"replica"`` (compute-to-compute only).
     """
 
-    start: float
-    end: float
-    factor: float
+    start: Seconds
+    end: Seconds
+    factor: Dimensionless
     scope: str = "all"
 
     def __post_init__(self) -> None:
@@ -74,8 +76,8 @@ class DiskLoss:
     """Node ``node`` loses ``lost_mb`` of disk-cache capacity at ``time``."""
 
     node: int
-    time: float
-    lost_mb: float
+    time: Seconds
+    lost_mb: MB
 
     def __post_init__(self) -> None:
         if self.node < 0:
@@ -108,11 +110,11 @@ class FaultSpec:
     """
 
     node_crashes: tuple[NodeCrash, ...] = ()
-    transfer_failure_rate: float = 0.0
+    transfer_failure_rate: Dimensionless = 0.0
     max_transfer_attempts: int = 4
-    backoff_base_s: float = 2.0
-    backoff_factor: float = 2.0
-    backoff_cap_s: float = 60.0
+    backoff_base_s: Seconds = 2.0
+    backoff_factor: Dimensionless = 2.0
+    backoff_cap_s: Seconds = 60.0
     link_slowdowns: tuple[LinkSlowdown, ...] = ()
     disk_losses: tuple[DiskLoss, ...] = ()
     seed: int = 0

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis.dims import MB
 from .bisect import multilevel_bisect
 from .hypergraph import Hypergraph
 
@@ -45,7 +46,7 @@ class BinwResult:
 
 def binw_partition(
     h: Hypergraph,
-    bound: float,
+    bound: MB,
     rng: np.random.Generator,
     epsilon: float = 0.20,
     coarsen_to: int = 64,

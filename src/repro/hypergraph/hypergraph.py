@@ -23,6 +23,8 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from ..analysis.dims import MB
+
 __all__ = ["Hypergraph", "PartitionStats"]
 
 
@@ -128,7 +130,7 @@ class Hypergraph:
         return len(self._vnets[vertex])
 
     # -- incident net weight (BINW) ---------------------------------------------
-    def incident_net_weight(self, vertices: Iterable[int]) -> float:
+    def incident_net_weight(self, vertices: Iterable[int]) -> MB:
         """Total weight of nets incident to ``vertices`` plus anchored weight.
 
         This is the quantity bounded by ``D`` in BINW partitioning (Eq. 24):

@@ -29,6 +29,7 @@ import time
 import numpy as np
 from scipy import optimize, sparse
 
+from ..analysis.dims import Seconds
 from ..obs.core import telemetry
 from .highs import record_solve
 from .model import Model, StandardForm
@@ -70,7 +71,7 @@ class BranchBoundSolver:
     def __init__(
         self,
         node_limit: int = 200_000,
-        time_limit: float | None = None,
+        time_limit: Seconds | None = None,
         abs_tol: float = 1e-6,
         presolve: bool = True,
     ):

@@ -11,6 +11,7 @@ import time
 
 from scipy import optimize, sparse
 
+from ..analysis.dims import Seconds
 from ..obs.core import telemetry
 from .model import Model
 from .solution import Solution, Status
@@ -41,7 +42,7 @@ class HighsSolver:
 
     name = "highs"
 
-    def __init__(self, time_limit: float | None = None, mip_rel_gap: float = 0.0):
+    def __init__(self, time_limit: Seconds | None = None, mip_rel_gap: float = 0.0):
         self.time_limit = time_limit
         self.mip_rel_gap = mip_rel_gap
 

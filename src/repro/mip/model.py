@@ -15,6 +15,11 @@ Models are solved through a backend (:mod:`repro.mip.highs` or
 :mod:`repro.mip.branch_bound`); :meth:`Model.to_standard_form` lowers the
 model to the matrix form ``min c'x  s.t.  lb_c <= A x <= ub_c`` that both
 backends consume.
+
+Unit conventions (see :mod:`repro.analysis.dims`): the scheduling IPs of
+Section 4 carry coefficients in simulated seconds (transfer and compute
+times, Eq. 9-13) and their makespan variable is seconds as well; the model
+layer itself is dimension-agnostic and only the coefficients carry units.
 """
 
 from __future__ import annotations

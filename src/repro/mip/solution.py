@@ -5,6 +5,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from ..analysis.dims import Dimensionless, Seconds
 from .errors import InfeasibleError, SolverError, UnboundedError
 from .model import Model, Var
 
@@ -38,9 +39,9 @@ class Solution:
     objective: float | None = None
     values: list[float] = field(default_factory=list)
     # Diagnostics
-    solve_time: float = 0.0
+    solve_time: Seconds = 0.0
     nodes_explored: int = 0
-    gap: float | None = None
+    gap: Dimensionless | None = None
     message: str = ""
 
     def value(self, var: Var, *, integral: bool = True) -> float:

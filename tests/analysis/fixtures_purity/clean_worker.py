@@ -1,0 +1,12 @@
+"""A pure process-pool worker: the purity lint must report nothing."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def cell(x):
+    return x * x
+
+
+def sweep(xs):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(cell, xs))

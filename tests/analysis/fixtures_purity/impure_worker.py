@@ -1,0 +1,31 @@
+"""Planted bugs: a process-pool worker touching shared state (RPR009).
+
+Three distinct impurities, all reachable from the ``cell`` worker:
+
+* ``random.seed`` reseeds a process-global RNG;
+* ``_helper`` appends to a module-level list (hidden cross-cell state);
+* the worker reads an environment variable that is not part of any
+  result-cache key.
+"""
+
+import os
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+_SEEN: list = []
+
+
+def _helper(x):
+    _SEEN.append(x)
+
+
+def cell(x):
+    random.seed(42)
+    _helper(x)
+    knob = os.environ.get("REPRO_SECRET_KNOB", "")
+    return (x, knob)
+
+
+def sweep(xs):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(cell, xs))

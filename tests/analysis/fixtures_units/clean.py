@@ -1,0 +1,18 @@
+"""Dimensionally correct module: the checker must report nothing here."""
+
+from repro.analysis.dims import MB, MBps, Seconds
+
+
+def transfer_time(size_mb: MB, bw: MBps) -> Seconds:
+    return size_mb / bw
+
+
+def slack(deadline_s: Seconds, eta_s: Seconds) -> Seconds:
+    return max(0.0, deadline_s - eta_s)
+
+
+def total_volume(sizes_mb: list) -> MB:
+    total = 0.0
+    for size_mb in sizes_mb:
+        total += size_mb
+    return total

@@ -1,0 +1,7 @@
+"""Planted bug: adds a file size to a delay (MB + Seconds, RPR006)."""
+
+from repro.analysis.dims import MB, Seconds
+
+
+def padded_size(size_mb: MB, delay_s: Seconds) -> MB:
+    return size_mb + delay_s

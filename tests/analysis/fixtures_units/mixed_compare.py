@@ -1,0 +1,9 @@
+"""Planted bug: compares a size against a timeout (RPR007).
+
+No annotations at all — both dimensions come from the ``*_mb`` / ``*_s``
+naming conventions.
+"""
+
+
+def too_big(size_mb, timeout_s):
+    return size_mb > timeout_s

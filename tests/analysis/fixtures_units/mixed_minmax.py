@@ -1,0 +1,5 @@
+"""Planted bug: min() over a size and a completion time (RPR007)."""
+
+
+def worst(size_mb, eta_s):
+    return min(size_mb, eta_s)

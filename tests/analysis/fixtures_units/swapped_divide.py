@@ -1,0 +1,11 @@
+"""Planted bug: multiplies size by bandwidth where it should divide.
+
+The result has dimension MB^2/s, not seconds — the checker must flag the
+return against the ``Seconds`` annotation (RPR008).
+"""
+
+from repro.analysis.dims import MB, MBps, Seconds
+
+
+def transfer_time(size_mb: MB, bw: MBps) -> Seconds:
+    return size_mb * bw
