@@ -1,0 +1,65 @@
+"""Wall-clock speed tests for the incremental scheduling kernels.
+
+Not part of tier-1 (``pytest.ini`` pins ``testpaths = tests``): run them
+explicitly with ``PYTHONPATH=src python -m pytest benchmarks/ -q``.
+
+Decision-identity is asserted unconditionally — every bench cell runs both
+flavours and compares mappings/makespans before its timing counts
+(:mod:`repro.experiments.bench` refuses to report unchecked speedups). The
+*speed* floors are additionally gated behind ``REPRO_PERF_ASSERT=1``
+because wall-clock ratios are only meaningful on a quiet machine; without
+the variable the tests still run both flavours and print the measured
+ratio, they just don't fail on it. The CI ``perf-smoke`` job enforces the
+2x MinMin floor separately via ``repro bench --min-speedup``.
+
+Floors are set ~20% under ratios measured on the development machine (see
+``docs/performance.md`` for the numbers) so they catch regressions, not
+scheduler noise. MaxMin and Sufferage clear lower bars by design: their
+per-round selection scans are their tie-breaking semantics and are left
+untouched, so only the matrix-rebuild share of their round is removed.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.bench import bench_end_to_end_cell, bench_mapping_cell
+
+PERF_ASSERT = os.environ.get("REPRO_PERF_ASSERT") == "1"
+
+def _check(result, floor: float) -> None:
+    msg = (
+        f"{result.cell}: {result.speedup:.2f}x "
+        f"(ref {result.reference_s * 1e3:.1f} ms, "
+        f"opt {result.optimized_s * 1e3:.1f} ms, floor {floor}x)"
+    )
+    print(msg)
+    if PERF_ASSERT:
+        assert result.speedup >= floor, msg
+
+@pytest.mark.parametrize(
+    "scheme,floor",
+    [("minmin", 2.0), ("maxmin", 1.4), ("sufferage", 1.2)],
+)
+def test_mapping_speed_mid_cell(scheme, floor):
+    # Mid-size Fig. 6b point: big enough that the reference's per-round
+    # full rebuild dominates, small enough to stay fast under pytest.
+    # Measured 2.37x / 1.78x / 1.47x on the development machine.
+    _check(bench_mapping_cell(scheme, 600, 32, repeats=5), floor)
+
+def test_mapping_speed_fig6b_headline():
+    # The acceptance-gate cell: MinMin at the largest Fig. 6b point.
+    # Measured 3.1x; the checked-in benchmarks/BENCH_*.json records the
+    # >=3x run, the floor here leaves margin for noisier machines.
+    _check(bench_mapping_cell("minmin", 1000, 32, repeats=7), 2.5)
+
+def test_end_to_end_not_regressed():
+    # Parity guard, not a speedup claim: at this size mapping is a sliver
+    # of the wall clock, the Timeline rewrite benefits both flavours by
+    # design, and the runtime caches (source memoisation, missing-bytes
+    # index, cached eviction order) roughly break even against their
+    # bookkeeping. Catch the optimized flavour *regressing* end to end.
+    _check(
+        bench_end_to_end_cell("minmin", 120, 8, repeats=3, candidate_limit=25),
+        0.85,
+    )

@@ -35,6 +35,12 @@ Commands
     Execute a batch with the audit trail enabled and verify the resulting
     Gantt trace against the execution invariants E1–E7
     (:mod:`repro.analysis.audit`, ``docs/invariants.md``).
+``bench``
+    Time the incremental scheduling kernels against their retained
+    reference implementations on fixed Fig. 6b-shaped cells, asserting
+    decision identity before reporting any speedup
+    (``docs/performance.md``). The CI perf-smoke job runs this with
+    ``--min-speedup`` as a regression gate.
 ``chaos``
     Fault-injection sweep (``docs/faults.md``): makespan-degradation curve
     over transfer-failure rates x schemes, each cell optionally audited
@@ -332,6 +338,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC.json",
         help="inject faults from a FaultSpec JSON file; the audit then also "
         "exercises the fault invariants E6/E7",
+    )
+
+    pb = sub.add_parser(
+        "bench",
+        help="time the incremental kernels against their reference oracles "
+        "(decision-checked; see docs/performance.md)",
+    )
+    pb.add_argument(
+        "--full",
+        action="store_true",
+        help="add the Fig. 6b headline cells (n=1000, c=32; several minutes)",
+    )
+    pb.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repeats per flavour; min is reported (default 5)",
+    )
+    pb.add_argument(
+        "--out", metavar="FILE",
+        help="write the results as a BENCH_<sha>.json-style document",
+    )
+    pb.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit non-zero unless every mapping cell beats this factor "
+        "(the CI perf-smoke gate)",
     )
 
     pc = sub.add_parser(
@@ -934,6 +964,49 @@ def _cmd_audit(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench(args) -> int:
+    from .experiments import default_bench_cells, run_bench_cells, write_bench
+
+    cells = default_bench_cells(full=args.full)
+    print(
+        f"{'cell':32s} {'reference':>11s} {'optimized':>11s} {'speedup':>8s}"
+    )
+    results = []
+    for cell in cells:
+        res = run_bench_cells([cell], repeats=args.repeats)[0]
+        results.append(res)
+        print(
+            f"{res.cell:32s} {res.reference_s * 1e3:9.2f}ms "
+            f"{res.optimized_s * 1e3:9.2f}ms {res.speedup:7.2f}x"
+        )
+        if res.kernel_stats:
+            saved = res.kernel_stats.get("evaluations_saved", 0)
+            logical = res.kernel_stats.get("logical_evaluations", 0)
+            if logical:
+                print(
+                    f"{'':32s}   kernel pair evaluations saved: "
+                    f"{saved / logical:.1%} ({saved:,} of {logical:,})"
+                )
+    print("\nevery cell decision-checked: optimized == reference")
+    if args.out:
+        path = write_bench(results, args.out)
+        print(f"results written to {path}")
+    if args.min_speedup is not None:
+        slow = [
+            r for r in results
+            if r.kind == "mapping" and r.speedup < args.min_speedup
+        ]
+        if slow:
+            for r in slow:
+                print(
+                    f"FAIL: {r.cell} speedup {r.speedup:.2f}x < "
+                    f"{args.min_speedup:.2f}x"
+                )
+            return 1
+        print(f"all mapping cells beat {args.min_speedup:.2f}x")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from .analysis.audit import AuditError
     from .experiments import CHAOS_SCHEMES, degradation_curve
@@ -1000,6 +1073,7 @@ def main(argv: list[str] | None = None) -> int:
         "units": _cmd_units,
         "purity": _cmd_purity,
         "audit": _cmd_audit,
+        "bench": _cmd_bench,
         "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)

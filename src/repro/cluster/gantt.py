@@ -17,6 +17,8 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
+import numpy as np
+
 from ..analysis.dims import Seconds
 
 __all__ = ["Interval", "Timeline", "Overlay", "earliest_common_slot"]
@@ -41,13 +43,28 @@ class Interval:
         return self.end - self.start
 
 
+#: Tail length beyond which ``earliest_slot`` switches from the Python
+#: scan to the vectorised gap search (below it, NumPy call overhead wins).
+_SCAN_VECTOR_MIN = 48
+
+
 class Timeline:
-    """Busy intervals of one resource, kept sorted and non-overlapping."""
+    """Busy intervals of one resource, kept sorted and non-overlapping.
+
+    Starts and ends are mirrored in parallel float lists (for bisection
+    and the Python-level scan) and in NumPy arrays grown by doubling (for
+    the vectorised long-tail scan in :meth:`earliest_slot`); both are
+    updated in place on :meth:`reserve`. All three views hold the exact
+    same floats, so query results are independent of which path runs.
+    """
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._intervals: list[Interval] = []
         self._starts: list[float] = []
+        self._ends: list[float] = []
+        self._starts_a = np.empty(64)
+        self._ends_a = np.empty(64)
 
     def __len__(self) -> int:
         return len(self._intervals)
@@ -69,17 +86,17 @@ class Timeline:
         if end - start <= _EPS:
             return True
         i = bisect_right(self._starts, start + _EPS)
-        if i > 0 and self._intervals[i - 1].end > start + _EPS:
+        if i > 0 and self._ends[i - 1] > start + _EPS:
             return False
-        if i < len(self._intervals) and self._intervals[i].start < end - _EPS:
+        if i < len(self._starts) and self._starts[i] < end - _EPS:
             return False
         return True
 
     def next_free(self, t: Seconds) -> Seconds:
         """Earliest instant >= t that is not inside a reservation."""
         i = bisect_right(self._starts, t + _EPS)
-        if i > 0 and self._intervals[i - 1].end > t + _EPS:
-            return self._intervals[i - 1].end
+        if i > 0 and self._ends[i - 1] > t + _EPS:
+            return self._ends[i - 1]
         return t
 
     def earliest_slot(self, duration: Seconds, not_before: Seconds = 0.0) -> Seconds:
@@ -87,16 +104,38 @@ class Timeline:
         if duration <= _EPS:
             return self.next_free(not_before)
         t = max(0.0, not_before)
-        i = bisect_right(self._starts, t + _EPS)
-        if i > 0 and self._intervals[i - 1].end > t + _EPS:
-            t = self._intervals[i - 1].end
-        while i < len(self._intervals):
-            nxt = self._intervals[i]
-            if t + duration <= nxt.start + _EPS:
-                return t
-            t = max(t, nxt.end)
+        starts = self._starts
+        n = len(starts)
+        i = bisect_right(starts, t + _EPS)
+        ends = self._ends
+        if i > 0 and ends[i - 1] > t + _EPS:
+            t = ends[i - 1]
+        if i == n:
+            return t
+        if t + duration <= starts[i] + _EPS:
+            return t
+        if n - i > _SCAN_VECTOR_MIN:
+            # Vectorised tail scan. The candidate start before interval
+            # j is the running max of ends up to j-1 (identical to the
+            # scalar loop's ``t = max(t, nxt.end)`` bumps); the first
+            # fitting gap wins, else the schedule's tail.
+            racc = np.maximum.accumulate(self._ends_a[i:n])
+            if t > ends[i]:
+                racc = np.maximum(racc, t)
+            fits = racc[:-1] + duration <= self._starts_a[i + 1 : n] + _EPS
+            j = int(np.argmax(fits))
+            if fits[j]:
+                return float(racc[j])
+            return float(racc[-1])
+        while True:
+            e = ends[i]
+            if e > t:
+                t = e
             i += 1
-        return t
+            if i == n:
+                return t
+            if t + duration <= starts[i] + _EPS:
+                return t
 
     def reserve(self, start: Seconds, duration: Seconds, tag: str = "") -> Interval:
         """Reserve ``[start, start+duration)``; the slot must be free."""
@@ -108,6 +147,21 @@ class Timeline:
         idx = bisect_right(self._starts, iv.start)
         self._intervals.insert(idx, iv)
         self._starts.insert(idx, iv.start)
+        self._ends.insert(idx, iv.end)
+        n = len(self._starts) - 1  # count before this insert
+        sa, ea = self._starts_a, self._ends_a
+        if n == len(sa):
+            grown = np.empty(2 * n)
+            grown[:n] = sa
+            self._starts_a = sa = grown
+            grown = np.empty(2 * n)
+            grown[:n] = ea
+            self._ends_a = ea = grown
+        if idx < n:
+            sa[idx + 1 : n + 1] = sa[idx:n]
+            ea[idx + 1 : n + 1] = ea[idx:n]
+        sa[idx] = iv.start
+        ea[idx] = iv.end
         return iv
 
     def __repr__(self) -> str:
@@ -135,13 +189,17 @@ class Overlay:
         )
 
     def earliest_slot(self, duration: Seconds, not_before: Seconds = 0.0) -> Seconds:
+        virtual = self.virtual
+        if not virtual:
+            return self.base.earliest_slot(duration, max(0.0, not_before))
         t = max(0.0, not_before)
+        base_slot = self.base.earliest_slot
         # Alternate between the base timeline and virtual intervals until
         # a common gap is found; terminates because t only increases.
-        for _ in range(10 * (len(self.virtual) + len(self.base) + 2)):
-            t2 = self.base.earliest_slot(duration, t)
+        for _ in range(10 * (len(virtual) + len(self.base) + 2)):
+            t2 = base_slot(duration, t)
             bumped = False
-            for iv in self.virtual:
+            for iv in virtual:
                 if iv.start < t2 + duration - _EPS and iv.end > t2 + _EPS:
                     t2 = max(t2, iv.end)
                     bumped = True

@@ -97,12 +97,102 @@ class _Tentative:
     )
 
 
+class _MissingIndex:
+    """Incremental per-(node, task) missing-input tracking for one sub-batch.
+
+    ``execute``'s candidate pre-filter ranks every pending task of a group
+    by the volume of input bytes not yet on its node. Recomputing that from
+    scratch is an O(T·F) scan per commit — O(T²·F) over a sub-batch. This
+    index maintains each task's *missing set* event-driven (file placed /
+    evicted / node crashed) and exposes the volumes as O(1) lookups.
+
+    Decision identity: the volume is **never** accumulated incrementally —
+    float ``+=``/``-=`` would round differently from the reference re-sum
+    and the value feeds a ``sorted`` key. Instead, whenever a task's
+    missing *set* changes, the volume is recomputed with the reference
+    term order (``sum(size_of(f) for f in t.files if f missing)``), so it
+    equals the from-scratch scan bit for bit.
+    """
+
+    def __init__(
+        self, state: ClusterState, groups: Mapping[int, Sequence[Task]]
+    ) -> None:
+        self.state = state
+        # node -> task_id -> set of input files not on the node
+        self.miss: dict[int, dict[str, set[str]]] = {}
+        # node -> task_id -> missing volume (reference summation order)
+        self.mb: dict[int, dict[str, MB]] = {}
+        # node -> file -> tasks of that group reading the file
+        self.readers: dict[int, dict[str, list[Task]]] = {}
+        self.done: set[str] = set()
+        for node, tasks in groups.items():
+            miss: dict[str, set[str]] = {}
+            mb: dict[str, MB] = {}
+            readers: dict[str, list[Task]] = {}
+            for t in tasks:
+                s = {f for f in t.files if not state.has_file(node, f)}
+                miss[t.task_id] = s
+                mb[t.task_id] = sum(
+                    state.size_of(f) for f in t.files if f in s
+                )
+                for f in t.files:
+                    readers.setdefault(f, []).append(t)
+            self.miss[node] = miss
+            self.mb[node] = mb
+            self.readers[node] = readers
+
+    def _refresh(self, node: int, t: Task, s: set[str]) -> None:
+        self.mb[node][t.task_id] = sum(
+            self.state.size_of(f) for f in t.files if f in s
+        )
+
+    def on_place(self, node: int, file_id: str) -> None:
+        """``file_id`` became resident on ``node``."""
+        readers = self.readers.get(node)
+        if readers is None:
+            return
+        for t in readers.get(file_id, ()):
+            if t.task_id in self.done:
+                continue
+            s = self.miss[node][t.task_id]
+            if file_id in s:
+                s.discard(file_id)
+                self._refresh(node, t, s)
+
+    def on_evict(self, node: int, file_id: str) -> None:
+        """``file_id`` left ``node``'s cache (eviction or disk loss)."""
+        readers = self.readers.get(node)
+        if readers is None:
+            return
+        for t in readers.get(file_id, ()):
+            if t.task_id in self.done:
+                continue
+            s = self.miss[node][t.task_id]
+            if file_id not in s:
+                s.add(file_id)
+                self._refresh(node, t, s)
+
+    def task_done(self, task_id: str) -> None:
+        self.done.add(task_id)
+
+    def drop_node(self, node: int) -> None:
+        self.miss.pop(node, None)
+        self.mb.pop(node, None)
+        self.readers.pop(node, None)
+
+
 class Runtime:
     """The Section 6 execution engine over one persistent set of Gantt charts.
 
     One ``Runtime`` lives for a whole batch run; sub-batches are executed
     sequentially through :meth:`execute`, each starting at the previous
     makespan (the driver applies eviction between them).
+
+    ``reference=True`` disables every hot-path cache (source memoisation,
+    hoisted bandwidths, the missing-bytes index, the cached eviction order,
+    execution-duration memos) and runs the original from-scratch scans.
+    Both flavours are decision-identical — the reference path exists as the
+    oracle for differential tests and `repro bench`.
     """
 
     def __init__(
@@ -115,6 +205,7 @@ class Runtime:
         overlap_io_compute: bool = False,
         audit: bool = False,
         faults: FaultModel | None = None,
+        reference: bool = False,
     ) -> None:
         if ordering not in ("ect", "fifo"):
             raise ValueError(f"ordering must be 'ect' or 'fifo', got {ordering!r}")
@@ -129,6 +220,7 @@ class Runtime:
         # execution moves to a dedicated per-node CPU timeline so staging
         # for the next task can proceed during computation.
         self.overlap_io_compute = overlap_io_compute
+        self.reference = reference
         self.clock: Seconds = 0.0
         self.node_tl = [Timeline(f"compute{i}") for i in range(platform.num_compute)]
         self.cpu_tl = (
@@ -144,6 +236,26 @@ class Runtime:
         )
         # (node, file) -> absolute time the copy becomes usable
         self._avail: dict[tuple[int, str], float] = {}
+        # -- hot-path caches (all bypassed when ``reference`` is set) --------
+        # Remote bandwidth per storage node: a pure function of the platform,
+        # hoisted out of the per-transfer inner loop.
+        self._remote_bw = [
+            platform.remote_bandwidth(s) for s in range(platform.num_storage)
+        ]
+        # (file, dest) -> (holders snapshot, source list). Valid while the
+        # state still hands out the *same* holders frozenset (identity check);
+        # any replication/eviction/crash of the file drops that snapshot.
+        self._src_memo: dict[
+            tuple[str, int], tuple[frozenset[int], list[tuple[str, int | None]]]
+        ] = {}
+        # (task, node) -> execution duration (local reads + CPU): pure in the
+        # platform and the immutable file catalog.
+        self._exec_dur: dict[tuple[str, int], float] = {}
+        # node -> (cache.mutations stamp, size-ascending resident files)
+        self._vorder: dict[int, tuple[int, list[str]]] = {}
+        # Missing-bytes index of the sub-batch being executed (None outside
+        # `execute` and on the reference / unlimited-candidates paths).
+        self._mindex: _MissingIndex | None = None
         # Fault injection (None = the null model: the exact fault-free code
         # paths run and traces are bit-identical to a faultless build).
         self.faults = faults
@@ -181,12 +293,33 @@ class Runtime:
     def _dynamic_sources(
         self, file_id: str, dest: int
     ) -> list[tuple[str, int | None]]:
-        """All places ``file_id`` can come from: ``(kind, source_node)``."""
-        sources: list[tuple[str, int | None]] = [("remote", None)]
+        """All places ``file_id`` can come from: ``(kind, source_node)``.
+
+        The optimised path memoises the list per ``(file, dest)``, keyed on
+        the *identity* of the holders snapshot: :meth:`ClusterState.holders`
+        returns one cached frozenset until the holder set mutates, so
+        ``hit is holders`` proves nothing changed since the memo was built
+        and the same enumeration (frozenset order is content-determined)
+        would be rebuilt anyway.
+        """
+        if self.reference:
+            sources: list[tuple[str, int | None]] = [("remote", None)]
+            if self.allow_replication:
+                for holder in self.state.holders(file_id):
+                    if holder != dest:
+                        sources.append(("replica", holder))
+            return sources
+        holders = self.state.holders(file_id)
+        key = (file_id, dest)
+        hit = self._src_memo.get(key)
+        if hit is not None and hit[0] is holders:
+            return hit[1]
+        sources = [("remote", None)]
         if self.allow_replication:
-            for holder in self.state.holders(file_id):
+            for holder in holders:
                 if holder != dest:
                     sources.append(("replica", holder))
+        self._src_memo[key] = (holders, sources)
         return sources
 
     def _sources_for(
@@ -216,7 +349,11 @@ class Runtime:
             res = [dest_ov, self._overlay(overlays, self.storage_tl[storage])]
             if self.link_tl is not None:
                 res.append(self._overlay(overlays, self.link_tl))
-            bw = self.platform.remote_bandwidth(storage)
+            bw = (
+                self.platform.remote_bandwidth(storage)
+                if self.reference
+                else self._remote_bw[storage]
+            )
             ready = self.clock
         else:
             assert source_node is not None
@@ -390,12 +527,24 @@ class Runtime:
         # Execution: local read of all inputs plus CPU time, after every
         # input file is available. Runs on the node timeline (port + CPU
         # mutually exclusive, the paper's model) or on the dedicated CPU
-        # timeline in overlap mode.
-        read = sum(
-            self.platform.local_read_time(node, self.state.size_of(f))
-            for f in task.files
+        # timeline in overlap mode. The duration is pure in the platform
+        # and the immutable file catalog, so it is memoised per
+        # (task, node); the memo stores the float the reference expression
+        # produced on first evaluation.
+        exec_key = (task.task_id, node)
+        exec_dur = (
+            None if self.reference else self._exec_dur.get(exec_key)
         )
-        exec_dur = read + self.platform.task_compute_time(node, task.compute_time)
+        if exec_dur is None:
+            read = sum(
+                self.platform.local_read_time(node, self.state.size_of(f))
+                for f in task.files
+            )
+            exec_dur = read + self.platform.task_compute_time(
+                node, task.compute_time
+            )
+            if not self.reference:
+                self._exec_dur[exec_key] = exec_dur
         exec_tl = (
             self.cpu_tl[node] if self.cpu_tl is not None else self.node_tl[node]
         )
@@ -450,6 +599,8 @@ class Runtime:
         for f, kind, src, start, duration in tent.transfers:
             size = self.state.size_of(f)
             self.state.place(node, f, now=start + duration)
+            if self._mindex is not None:
+                self._mindex.on_place(node, f)
             self._avail[(node, f)] = start + duration
             cache.pin(f)
             if kind == "remote":
@@ -520,6 +671,30 @@ class Runtime:
             self.trail.record_eviction(node, file_id, self.state.size_of(file_id))
         self.state.note_evicted(node, file_id)
         self._avail.pop((node, file_id), None)
+        if self._mindex is not None:
+            self._mindex.on_evict(node, file_id)
+
+    def _size_ascending(self, node: int, cands: Iterable[str]) -> list[str]:
+        """Default eviction order: smallest candidate files first.
+
+        Equivalent to ``sorted(cands, key=size_of)``: the candidate list the
+        cache passes in is a subsequence of its insertion order with
+        distinct elements, so filtering the (stable) size-sorted order of
+        *all* resident files down to the candidate set yields the same
+        sequence as stable-sorting the candidates directly. The full order
+        is cached per node and revalidated against the cache's membership
+        mutation counter instead of being rebuilt per eviction query.
+        """
+        cache = self.state.caches[node]
+        stamp = cache.mutations
+        entry = self._vorder.get(node)
+        if entry is None or entry[0] != stamp:
+            order = sorted(cache.files, key=self.state.size_of)
+            self._vorder[node] = (stamp, order)
+        else:
+            order = entry[1]
+        cs = set(cands)
+        return [f for f in order if f in cs]
 
     def _release(self, task: Task, node: int) -> None:
         if self.faults is not None and node in self.state.dead_nodes:
@@ -539,6 +714,8 @@ class Runtime:
         faults.stats.lost_mb += sum(size for _, size in lost)
         for key in [k for k in self._avail if k[0] == node]:
             del self._avail[key]
+        if self._mindex is not None:
+            self._mindex.drop_node(node)
         if self.trail is not None:
             self.trail.record_crash(node, time, tuple(lost))
 
@@ -651,11 +828,14 @@ class Runtime:
         eviction; default is size-ascending.
         """
         if victim_order is None:
+            if self.reference:
 
-            def _size_ascending(node: int, cands: Iterable[str]) -> list[str]:
-                return sorted(cands, key=lambda f: self.state.size_of(f))
+                def _size_ascending(node: int, cands: Iterable[str]) -> list[str]:
+                    return sorted(cands, key=lambda f: self.state.size_of(f))
 
-            victim_order = _size_ascending
+                victim_order = _size_ascending
+            else:
+                victim_order = self._size_ascending
 
         start_time = self.clock
         failed: list[str] = []
@@ -684,6 +864,17 @@ class Runtime:
 
         base_stats = replace(self.state.stats)
 
+        # Candidate pre-filter index: built after pushes and dead-group
+        # removal so it sees the same placement state the reference scan
+        # would; kept current by the _commit/_on_evict/_kill_node hooks.
+        self._mindex = None
+        if (
+            not self.reference
+            and self.candidate_limit is not None
+            and self.ordering == "ect"
+        ):
+            self._mindex = _MissingIndex(self.state, groups)
+
         records: list[TaskRecord] = []
         events: list[tuple[float, int, int, Task]] = []  # (ect, seq, node, task)
         seq = 0
@@ -695,6 +886,12 @@ class Runtime:
             if self.candidate_limit is None or len(pend) <= self.candidate_limit:
                 return pend
             # Cheap pre-filter: tasks needing the least missing volume first.
+            mindex = self._mindex
+            if mindex is not None:
+                mb = mindex.mb[node]
+                return sorted(pend, key=lambda t: mb[t.task_id])[
+                    : self.candidate_limit
+                ]
             def missing_mb(t: Task) -> MB:
                 return sum(
                     self.state.size_of(f)
@@ -722,6 +919,8 @@ class Runtime:
             groups[node].remove(tent.task)
             if not groups[node]:
                 del groups[node]
+            if self._mindex is not None:
+                self._mindex.task_done(tent.task.task_id)
             records.append(self._commit(tent, victim_order))
             heapq.heappush(events, (tent.ect, seq, node, tent.task))
             seq += 1
@@ -751,6 +950,7 @@ class Runtime:
                 commit_next(node)
 
         self.clock = max(self.clock, makespan)
+        self._mindex = None
         delta = TransferStats(
             self.state.stats.remote_transfers - base_stats.remote_transfers,
             self.state.stats.remote_volume_mb - base_stats.remote_volume_mb,

@@ -65,6 +65,13 @@ class ClusterState:
         ]
         # file id -> set of compute nodes currently holding it
         self._holders: dict[str, set[int]] = {}
+        # Frozen snapshots handed out by :meth:`holders`, dropped whenever
+        # the underlying set mutates. A frozenset's iteration order is a
+        # pure function of its contents, so reusing the snapshot between
+        # mutations yields byte-identical enumeration to rebuilding it —
+        # and the snapshot's *identity* doubles as a cheap version tag for
+        # downstream memos (see ``Runtime._dynamic_sources``).
+        self._holders_cache: dict[str, frozenset[int]] = {}
         self.stats = TransferStats()
         # Compute nodes lost to injected crashes (empty without faults).
         self.dead_nodes: set[int] = set()
@@ -81,7 +88,11 @@ class ClusterState:
     # -- queries ---------------------------------------------------------------
     def holders(self, file_id: str) -> frozenset[int]:
         """Compute nodes currently caching ``file_id``."""
-        return frozenset(self._holders.get(file_id, ()))
+        snap = self._holders_cache.get(file_id)
+        if snap is None:
+            snap = frozenset(self._holders.get(file_id, ()))
+            self._holders_cache[file_id] = snap
+        return snap
 
     def num_copies(self, file_id: str) -> Count:
         """Copies on the compute cluster (``Numcopies`` of Eq. 22)."""
@@ -112,6 +123,7 @@ class ClusterState:
         """Record that ``file_id`` is now cached on ``node_id``."""
         self.caches[node_id].add(file_id, self.size_of(file_id), now)
         self._holders.setdefault(file_id, set()).add(node_id)
+        self._holders_cache.pop(file_id, None)
 
     def drop(self, node_id: int, file_id: str) -> None:
         """Remove a cached copy (explicit eviction between sub-batches)."""
@@ -134,6 +146,7 @@ class ClusterState:
             holders.discard(node_id)
             if not holders:
                 del self._holders[file_id]
+            self._holders_cache.pop(file_id, None)
 
     def mark_dead(self, node_id: int) -> list[tuple[str, float]]:
         """Fail ``node_id`` permanently, losing its cached files.

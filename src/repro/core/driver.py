@@ -114,6 +114,7 @@ def run_batch(
     audit: bool = False,
     telemetry: bool = False,
     faults: FaultSpec | dict | None = None,
+    reference: bool = False,
 ) -> BatchResult:
     """Run a whole batch under one scheduler; returns the end-to-end result.
 
@@ -160,9 +161,16 @@ def run_batch(
         exponential backoff and source failover inside the runtime. A null
         spec is equivalent to ``None``: the simulation is bit-identical to
         a fault-free run. See ``docs/faults.md``.
+    reference:
+        Run the original from-scratch scheduling kernels and runtime scans
+        instead of the incremental/cached ones. Decisions, makespans and
+        logs are identical either way (differentially tested); the flag
+        exists as the oracle for equivalence tests and ``repro bench``.
+        See ``docs/performance.md``.
     """
     if isinstance(scheduler, str):
         scheduler = make_scheduler(scheduler, **(scheduler_kwargs or {}))
+    scheduler.reference = reference
     scheduler.reset()
 
     was_enabled = tele.enabled
@@ -183,6 +191,7 @@ def run_batch(
             audit=audit,
             telemetry=telemetry,
             fault_spec=resolve_spec(faults),
+            reference=reference,
         )
     finally:
         if telemetry and not was_enabled:
@@ -203,6 +212,7 @@ def _run_batch_inner(
     audit: bool,
     telemetry: bool,
     fault_spec: FaultSpec | None,
+    reference: bool = False,
 ) -> BatchResult:
 
     # The paper assumes every single task's files fit on a compute node
@@ -228,6 +238,7 @@ def _run_batch_inner(
         overlap_io_compute=overlap_io_compute,
         audit=audit,
         faults=fault_model,
+        reference=reference,
     )
     policy = eviction_policy if eviction_policy is not None else scheduler.eviction_policy(batch)
     pending: list[str] = [t.task_id for t in batch.tasks]

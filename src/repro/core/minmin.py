@@ -14,42 +14,53 @@ runtime; the estimates here intentionally mirror the runtime's cost model
 without simulating port contention (that is what makes MinMin cheap relative
 to the IP scheme but still O(T^2 * C), visibly slower than JDP in Fig. 6b).
 
-The inner loop is vectorised: ``stage[t, i]`` (estimated staging seconds for
-task ``t`` on node ``i``) is maintained in a NumPy array and only rows
-affected by new file copies are recomputed.
+The mapping loop lives in :mod:`repro.core.mct_kernel` in two
+decision-identical flavours: the original per-round full-matrix rescan
+(``scheduler.reference = True``) and the default incremental kernel that
+maintains the MCT value buffer in place, rewriting only the entries each
+commit moved. MaxMin and Sufferage (:mod:`repro.core.mct_family`) reuse
+both through the :meth:`_pick` selection hook.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..analysis.dims import Seconds
 from ..batch import Batch
 from ..cluster.platform import Platform
 from ..cluster.state import ClusterState
 from ..obs.core import telemetry
 from ..obs.decisions import DecisionLog
 from .base import Scheduler, register_scheduler
+from .mct_kernel import (
+    _TIE_TOL,
+    KernelStats,
+    build_mct_setup,
+    incremental_mct_map,
+    reference_mct_map,
+)
 from .plan import SubBatchPlan
 
-__all__ = ["MinMinScheduler"]
-
-#: Candidates within this absolute MCT distance of the winner count as ties.
-_TIE_TOL: Seconds = 1e-9
+__all__ = ["MinMinScheduler", "_TIE_TOL"]
 
 
 @register_scheduler("minmin")
 class MinMinScheduler(Scheduler):
     """MinMin with implicit replication; whole batch at once, no sub-batching.
 
-    The selection rule is pluggable through :meth:`_pick` so the MaxMin and
-    Sufferage variants (:mod:`repro.core.mct_family`) can reuse the whole
-    data-aware MCT machinery and differ only in which task they commit.
+    The selection rule is pluggable so the MaxMin and Sufferage variants
+    (:mod:`repro.core.mct_family`) can reuse the whole data-aware MCT
+    machinery and differ only in which task they commit: :meth:`_pick`
+    drives both the reference full-matrix path and the incremental kernel
+    (which hands it a bit-identical value buffer).
     """
 
     uses_subbatches = False
     #: Selection-rule label recorded on each Decision while telemetry is on.
     pick_rule = "global-min-mct"
+    #: Work accounting of the last incremental mapping call (None on the
+    #: reference path); reported by ``repro bench``.
+    kernel_stats: KernelStats | None = None
 
     def _pick(self, mct: np.ndarray) -> tuple[int, int]:
         """Choose (task row, node column) from the MCT matrix.
@@ -57,8 +68,7 @@ class MinMinScheduler(Scheduler):
         MinMin commits the globally smallest completion time. Rows of
         already-scheduled tasks hold ``inf``.
         """
-        flat = int(np.argmin(mct))
-        return divmod(flat, mct.shape[1])
+        return divmod(int(mct.argmin()), mct.shape[1])
 
     def next_subbatch(
         self,
@@ -79,103 +89,15 @@ class MinMinScheduler(Scheduler):
         platform: Platform,
         state: ClusterState,
     ) -> dict[str, int]:
-        tasks = [batch.task(t) for t in pending]
-        # Matrix columns cover only surviving nodes (fault injection may
-        # have crashed some); without faults this is every compute node and
-        # the arithmetic below is unchanged.
-        nodes = state.alive_nodes()
-        if not nodes:
-            raise RuntimeError("no surviving compute nodes to schedule on")
-        n, c = len(tasks), len(nodes)
-        file_ids = sorted({f for t in tasks for f in t.files})
-        fidx = {f: i for i, f in enumerate(file_ids)}
-        sizes = np.array([batch.file_size(f) for f in file_ids])
-        remote_t = np.array(
-            [
-                sizes[i] / platform.remote_bandwidth(batch.file(f).storage_node)
-                for i, f in enumerate(file_ids)
-            ]
-        )
-        rep_t = sizes / platform.replication_bandwidth
-
-        # on_node[f, i]: file (planned to be) on the i-th surviving node.
-        on_node = np.zeros((len(file_ids), c), dtype=bool)
-        for i, node in enumerate(nodes):
-            for f in state.files_on(node):
-                if f in fidx:
-                    on_node[fidx[f], i] = True
-        any_copy = on_node.any(axis=1)
-
-        task_files = [np.array([fidx[f] for f in t.files]) for t in tasks]
-        # Execution part per (task, node): local read at the node's disk
-        # bandwidth plus CPU time at the node's speed.
-        total_mb = np.array([batch.task_input_mb(t) for t in tasks])
-        compute = np.array([t.compute_time for t in tasks])
-        local_bw = np.array(
-            [platform.compute_nodes[node].local_disk_bw for node in nodes]
-        )
-        speeds = np.array([platform.compute_nodes[node].speed for node in nodes])
-        fixed = total_mb[:, None] / local_bw[None, :] + compute[:, None] / speeds[None, :]
-
-        def stage_row(k: int) -> np.ndarray:
-            """Estimated staging time of task k on every node."""
-            fs = task_files[k]
-            # Per-file cost on node i: 0 if present; else replica time if any
-            # copy exists; else remote time.
-            best_absent = np.where(any_copy[fs], rep_t[fs], remote_t[fs])
-            per_file = np.where(on_node[fs, :].T, 0.0, best_absent)  # (c, |fs|)
-            return per_file.sum(axis=1)
-
-        stage = np.vstack([stage_row(k) for k in range(n)]) if n else np.zeros((0, c))
-        ready = np.zeros(c)
-        unscheduled = np.ones(n, dtype=bool)
-        mapping: dict[str, int] = {}
-
-        # Inverted index: file -> tasks reading it (for targeted refreshes).
-        readers: dict[int, list[int]] = {}
-        for k, fs in enumerate(task_files):
-            for f in fs.tolist():
-                readers.setdefault(f, []).append(k)
-
+        setup = build_mct_setup(batch, pending, platform, state)
         log: DecisionLog | None = None
         if telemetry.enabled:
             if self.decision_log is None:
                 self.decision_log = DecisionLog(scheme=self.name)
             log = self.decision_log
-
-        for _ in range(n):
-            mct = stage + ready + fixed  # (n, c)
-            mct[~unscheduled, :] = np.inf
-            k, i = self._pick(mct)
-            k, i = int(k), int(i)
-            mapping[tasks[k].task_id] = nodes[i]
-            if log is not None:
-                finite = np.isfinite(mct)
-                evaluated = int(finite.sum())
-                ties = int((np.abs(mct[finite] - mct[k, i]) <= _TIE_TOL).sum()) - 1
-                log.record(
-                    tasks[k].task_id,
-                    nodes[i],
-                    reason=self.pick_rule,
-                    estimated_completion=float(mct[k, i]),
-                    evaluated=evaluated,
-                    ties=max(ties, 0),
-                )
-                telemetry.count("scheduler/evaluations", evaluated)
-                telemetry.count("scheduler/decisions")
-            ready[i] = mct[k, i]
-            unscheduled[k] = False
-
-            # Implicit replication: task k's files are now (planned) on i.
-            fs = task_files[k]
-            on_node[fs, i] = True
-            any_copy[fs] = True
-            # Refresh the staging estimate of every pending task that shares
-            # a file with the newly placed set.
-            dirty: set[int] = set()
-            for f in fs.tolist():
-                dirty.update(readers[f])
-            for t in dirty:
-                if unscheduled[t]:
-                    stage[t] = stage_row(t)
+        if self.reference:
+            self.kernel_stats = None
+            return reference_mct_map(setup, self._pick, self.pick_rule, log)
+        mapping, stats = incremental_mct_map(setup, self._pick, self.pick_rule, log)
+        self.kernel_stats = stats
         return mapping

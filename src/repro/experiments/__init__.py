@@ -1,5 +1,13 @@
 """Experiment harness reproducing every figure of the paper's evaluation."""
 
+from .bench import (
+    BenchCellResult,
+    bench_end_to_end_cell,
+    bench_mapping_cell,
+    default_bench_cells,
+    run_bench_cells,
+    write_bench,
+)
 from .faults import CHAOS_SCHEMES, chaos_sweep, degradation_curve
 from .figures import (
     fig3_image_overlap,
@@ -37,4 +45,10 @@ __all__ = [
     "CHAOS_SCHEMES",
     "chaos_sweep",
     "degradation_curve",
+    "BenchCellResult",
+    "bench_mapping_cell",
+    "bench_end_to_end_cell",
+    "default_bench_cells",
+    "run_bench_cells",
+    "write_bench",
 ]
