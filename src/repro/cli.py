@@ -41,6 +41,15 @@ Commands
     decision identity before reporting any speedup
     (``docs/performance.md``). The CI perf-smoke job runs this with
     ``--min-speedup`` as a regression gate.
+``diff``
+    Attribute the makespan delta between two run manifests to phase
+    (schedule/stage/execute), node and metric with ranked tables
+    (:mod:`repro.obs.diff`); exits non-zero when the drift exceeds
+    ``--fail-over`` — the attribution-aware version of the bench gate.
+``report``
+    Render a run manifest — optionally with a baseline diff and the bench
+    speedup trajectory — as one self-contained offline HTML file (inline
+    SVG sparklines and node-activity strips, no external resources).
 ``chaos``
     Fault-injection sweep (``docs/faults.md``): makespan-degradation curve
     over transfer-failure rates x schemes, each cell optionally audited
@@ -263,6 +272,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scheme", default=None, help="override the scheme")
         p.add_argument("--seed", type=int, default=None, help="override the seed")
         p.add_argument("--out", metavar="FILE", help="write the run manifest JSON")
+        p.add_argument(
+            "--timeseries",
+            action="store_true",
+            help="attach simulated-time series probes (adds the manifest's "
+            "timeseries block; see docs/observability.md)",
+        )
+        p.add_argument(
+            "--faults",
+            metavar="SPEC.json",
+            help="inject faults from a FaultSpec JSON file during the run",
+        )
 
     pm = sub.add_parser(
         "metrics",
@@ -363,6 +383,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero unless every mapping cell beats this factor "
         "(the CI perf-smoke gate)",
     )
+    pb.add_argument(
+        "--trajectory",
+        metavar="FILE",
+        default=None,
+        help="append one compact record per cell (sha, cell, speedup, "
+        "decision-checked) to this JSONL trajectory "
+        "(default: benchmarks/BENCH_trajectory.jsonl when it is writable)",
+    )
+    pb.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="do not append to the bench trajectory",
+    )
+
+    pd = sub.add_parser(
+        "diff",
+        help="attribute the makespan delta between two run manifests "
+        "(phase x node x metric; non-zero exit on drift over --fail-over)",
+    )
+    pd.add_argument(
+        "a", metavar="A.json",
+        help="base run manifest, or BENCH.json#cell for a bench-derived one",
+    )
+    pd.add_argument(
+        "b", metavar="B.json",
+        help="candidate run manifest (same forms as A)",
+    )
+    pd.add_argument(
+        "--fail-over", type=float, default=0.15,
+        help="exit non-zero when |makespan delta| exceeds this fraction of "
+        "A's makespan (default 0.15, the bench-regression tolerance)",
+    )
+    pd.add_argument("--top", type=int, default=8, help="rows per ranked table")
+    pd.add_argument("--json", metavar="FILE", help="also write the diff as JSON")
+
+    pr = sub.add_parser(
+        "report",
+        help="render a run manifest (plus optional baseline diff) as one "
+        "self-contained offline HTML file",
+    )
+    pr.add_argument(
+        "run", metavar="RUN.json",
+        help="run manifest to render, or BENCH.json#cell",
+    )
+    pr.add_argument(
+        "baseline", metavar="BASELINE.json", nargs="?", default=None,
+        help="optional baseline manifest; adds the ranked diff view",
+    )
+    pr.add_argument(
+        "--out", metavar="FILE", default="report.html",
+        help="output HTML path (default report.html)",
+    )
+    pr.add_argument(
+        "--trajectory",
+        metavar="FILE",
+        default=None,
+        help="bench trajectory JSONL to render as sparklines "
+        "(default: benchmarks/BENCH_trajectory.jsonl when present)",
+    )
+    pr.add_argument("--title", default=None, help="override the page title")
 
     pc = sub.add_parser(
         "chaos",
@@ -757,6 +837,13 @@ def _obs_config(args) -> ExperimentConfig:
         fields["scheme"] = args.scheme
     if args.seed is not None:
         fields["seed"] = args.seed
+    if getattr(args, "timeseries", False):
+        fields["timeseries"] = True
+    if getattr(args, "faults", None):
+        import json as _json
+
+        with open(args.faults) as fh:
+            fields["faults"] = _json.load(fh)
     fields["telemetry"] = True
     if fields.get("disk_space_mb") in ("inf", None):
         fields["disk_space_mb"] = math.inf
@@ -851,6 +938,15 @@ def _cmd_profile(args) -> int:
                 f"{path:42s} {span.count:6d} {span.total_s:8.3f}s "
                 f"{span.mean_s * 1000:7.2f}ms"
             )
+        kernel = {
+            name.split("/", 1)[1]: value
+            for name, value in sorted(tele.snapshot()["counters"].items())
+            if name.startswith("kernel/")
+        }
+        if kernel:
+            print("\nincremental kernel work (summed over mapping calls):")
+            for key, value in kernel.items():
+                print(f"  {key:26s} {int(value):,}")
         if args.trace:
             assert result.runtime is not None
             with open(args.trace, "w") as fh:
@@ -991,6 +1087,18 @@ def _cmd_bench(args) -> int:
     if args.out:
         path = write_bench(results, args.out)
         print(f"results written to {path}")
+    if not args.no_trajectory:
+        from pathlib import Path as _Path
+
+        from .experiments.bench import append_trajectory
+
+        traj = args.trajectory
+        if traj is None:
+            default = _Path("benchmarks") / "BENCH_trajectory.jsonl"
+            traj = default if default.parent.is_dir() else None
+        if traj is not None:
+            tpath = append_trajectory(results, traj)
+            print(f"trajectory appended to {tpath} ({len(results)} record(s))")
     if args.min_speedup is not None:
         slow = [
             r for r in results
@@ -1004,6 +1112,56 @@ def _cmd_bench(args) -> int:
                 )
             return 1
         print(f"all mapping cells beat {args.min_speedup:.2f}x")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from .obs.diff import diff_manifests, format_diff, load_run
+
+    a = load_run(args.a)
+    b = load_run(args.b)
+    diff = diff_manifests(a, b)
+    print(format_diff(diff, top=args.top))
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w") as fh:
+            _json.dump(diff.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"JSON written to {args.json}")
+    if diff.exceeds(args.fail_over):
+        print(
+            f"FAIL: makespan drift {diff.rel_delta:+.1%} exceeds "
+            f"{args.fail_over:.0%} of the base makespan",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"drift {diff.rel_delta:+.1%} within the {args.fail_over:.0%} gate")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path as _Path
+
+    from .obs.diff import load_run
+    from .obs.report import load_trajectory, write_report
+
+    manifest = load_run(args.run)
+    baseline = load_run(args.baseline) if args.baseline else None
+    traj_path = args.trajectory
+    if traj_path is None:
+        default = _Path("benchmarks") / "BENCH_trajectory.jsonl"
+        traj_path = default if default.exists() else None
+    trajectory = load_trajectory(traj_path) if traj_path is not None else []
+    out = write_report(
+        manifest,
+        args.out,
+        baseline,
+        trajectory=trajectory,
+        title=args.title,
+    )
+    print(f"report written to {out} ({out.stat().st_size:,} bytes, "
+          "self-contained HTML)")
     return 0
 
 
@@ -1074,6 +1232,8 @@ def main(argv: list[str] | None = None) -> int:
         "purity": _cmd_purity,
         "audit": _cmd_audit,
         "bench": _cmd_bench,
+        "diff": _cmd_diff,
+        "report": _cmd_report,
         "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)

@@ -33,6 +33,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from ..analysis.dims import MB, Seconds
 from ..batch import Task
@@ -43,6 +44,9 @@ from .gantt import Overlay, Timeline, earliest_common_slot
 from .platform import Platform
 from .state import ClusterState, TransferStats
 from .stats import ExecutionResult, TaskRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.timeseries import TimeSeriesProbe
 
 __all__ = ["PlannedSource", "StagingPlan", "Runtime"]
 
@@ -275,6 +279,15 @@ class Runtime:
                     if state.files_on(n)
                 }
             )
+        # Simulated-time series probe (repro.obs.timeseries), assigned by
+        # the driver when run_batch(timeseries=...) is enabled. None keeps
+        # every hook a single attribute test: the disabled path allocates
+        # nothing, mirroring the null audit trail above.
+        self.probe: TimeSeriesProbe | None = None
+        # Ready-task depth of the sub-batch currently executing (tasks
+        # mapped but not yet committed); maintained unconditionally so the
+        # probe's ready-queue gauge costs only integer arithmetic.
+        self._ready_count: int = 0
 
     # -- resource helpers -------------------------------------------------------
     def _key(self, tl: Timeline) -> str:
@@ -618,6 +631,8 @@ class Runtime:
                 tent.task.task_id, node, tuple(tent.task.files),
                 tent.exec_start, tent.ect,
             )
+        if self.probe is not None:
+            self.probe.on_commit(self, tent)
         return TaskRecord(
             task_id=tent.task.task_id,
             node=node,
@@ -663,6 +678,8 @@ class Runtime:
                     self.trail.record_failed_transfer(
                         file_id, size, kind, src, node, start, end, attempt
                     )
+            if self.probe is not None:
+                self.probe.on_retry(node, f, fails[0][4], len(fails))
 
     def _on_evict(self, node: int, file_id: str) -> None:
         # ensure_space has already dropped the cache entry; mirror the global
@@ -673,6 +690,8 @@ class Runtime:
         self._avail.pop((node, file_id), None)
         if self._mindex is not None:
             self._mindex.on_evict(node, file_id)
+        if self.probe is not None:
+            self.probe.on_evict(node, self.state.size_of(file_id))
 
     def _size_ascending(self, node: int, cands: Iterable[str]) -> list[str]:
         """Default eviction order: smallest candidate files first.
@@ -718,6 +737,8 @@ class Runtime:
             self._mindex.drop_node(node)
         if self.trail is not None:
             self.trail.record_crash(node, time, tuple(lost))
+        if self.probe is not None:
+            self.probe.on_crash(node, time, len(lost))
 
     def _apply_timed_faults(
         self, victim_order: Callable[[int, Iterable[str]], list[str]]
@@ -812,6 +833,8 @@ class Runtime:
             self.trail.record_transfer(
                 file_id, size, kind, src, dest, start, tct, push=True
             )
+        if self.probe is not None:
+            self.probe.on_push(self, dest, kind, src, start, tct)
 
     # -- main loop ---------------------------------------------------------------------
     def execute(
@@ -847,6 +870,7 @@ class Runtime:
             n = mapping[t.task_id]
             if not 0 <= n < self.platform.num_compute:
                 raise ValueError(f"task {t.task_id} mapped to bad node {n}")
+        self._ready_count = len(tasks)
 
         if plan is not None:
             for file_id, dest in plan.pushes:
@@ -861,6 +885,7 @@ class Runtime:
             # hand them straight back to the driver for rescheduling.
             for node in [n for n in groups if n in self.state.dead_nodes]:
                 failed.extend(t.task_id for t in groups.pop(node))
+        self._ready_count = sum(len(g) for g in groups.values())
 
         base_stats = replace(self.state.stats)
 
@@ -914,9 +939,12 @@ class Runtime:
                 # same guard), so E6 holds; the unfinished remainder of the
                 # group goes back to the driver's pending pool.
                 self._kill_node(node, self.faults.crash_time(node))
-                failed.extend(t.task_id for t in groups.pop(node))
+                dropped = groups.pop(node)
+                failed.extend(t.task_id for t in dropped)
+                self._ready_count -= len(dropped)
                 return
             groups[node].remove(tent.task)
+            self._ready_count -= 1
             if not groups[node]:
                 del groups[node]
             if self._mindex is not None:

@@ -26,6 +26,7 @@ from ..cluster.runtime import Runtime
 from ..cluster.state import ClusterState
 from ..faults import FaultModel, FaultSpec, resolve_spec
 from ..obs.core import telemetry as tele
+from ..obs.timeseries import ProbeConfig, TimeSeriesProbe, resolve_timeseries
 from .base import Scheduler, make_scheduler
 from .eviction import EvictionPolicy
 from .plan import BatchResult, SubBatchPlan, SubBatchResult
@@ -47,6 +48,7 @@ def _pre_evict(
     state: ClusterState,
     policy: EvictionPolicy,
     trail: AuditTrail | None = None,
+    probe: TimeSeriesProbe | None = None,
 ) -> None:
     """Between-sub-batch eviction (Section 4.3).
 
@@ -95,6 +97,8 @@ def _pre_evict(
             if trail is not None:
                 trail.record_eviction(_node, fid, state.size_of(fid))
             state.note_evicted(_node, fid)
+            if probe is not None:
+                probe.on_evict(_node, state.size_of(fid))
 
         cache.ensure_space(incoming, victim_order=order, on_evict=on_evict)
 
@@ -113,6 +117,7 @@ def run_batch(
     overlap_io_compute: bool = False,
     audit: bool = False,
     telemetry: bool = False,
+    timeseries: bool | ProbeConfig | dict | None = None,
     faults: FaultSpec | dict | None = None,
     reference: bool = False,
 ) -> BatchResult:
@@ -153,6 +158,17 @@ def run_batch(
         counters/gauges/spans snapshot) and ``result.runtime`` (for trace
         export). Scalar metrics are also published as ``metrics/*`` gauges
         so parallel workers' per-cell snapshots carry them.
+    timeseries:
+        Attach simulated-time series probes (:mod:`repro.obs.timeseries`):
+        samples per-node disk occupancy, eviction pressure, port busy
+        seconds, ready-queue and in-flight-transfer depth, and cumulative
+        remote/replicated/cache-hit bytes at every commit point, with fault
+        events overlaid as markers. Accepts ``True`` (default budget), a
+        :class:`~repro.obs.timeseries.ProbeConfig`, or its dict form; every
+        null form (``None``/``False``/``{}``) keeps the allocation-free
+        fast path, exactly like a null fault spec. The block is attached as
+        ``result.timeseries`` and exported under the manifest's
+        ``timeseries`` key. Independent of ``telemetry``.
     faults:
         Fault-injection spec (:class:`~repro.faults.FaultSpec`, its JSON
         dict form, or ``None``). Crashed nodes hand their unfinished tasks
@@ -190,6 +206,7 @@ def run_batch(
             overlap_io_compute=overlap_io_compute,
             audit=audit,
             telemetry=telemetry,
+            probe_config=resolve_timeseries(timeseries),
             fault_spec=resolve_spec(faults),
             reference=reference,
         )
@@ -211,6 +228,7 @@ def _run_batch_inner(
     overlap_io_compute: bool,
     audit: bool,
     telemetry: bool,
+    probe_config: ProbeConfig | None,
     fault_spec: FaultSpec | None,
     reference: bool = False,
 ) -> BatchResult:
@@ -240,6 +258,15 @@ def _run_batch_inner(
         faults=fault_model,
         reference=reference,
     )
+    probe: TimeSeriesProbe | None = None
+    if probe_config is not None:
+        probe = TimeSeriesProbe(
+            probe_config,
+            num_compute=platform.num_compute,
+            state=state,
+            fault_spec=fault_spec,
+        )
+        runtime.probe = probe
     policy = eviction_policy if eviction_policy is not None else scheduler.eviction_policy(batch)
     pending: list[str] = [t.task_id for t in batch.tasks]
     result = BatchResult(scheduler=scheduler.name, makespan=0.0, scheduling_seconds=0.0)
@@ -264,10 +291,15 @@ def _run_batch_inner(
             # whole-batch baselines rely on on-demand eviction at runtime.
             if scheduler.uses_subbatches:
                 with tele.span("pre-evict"):
-                    _pre_evict(plan, batch, state, policy, trail=runtime.trail)
+                    _pre_evict(
+                        plan, batch, state, policy,
+                        trail=runtime.trail, probe=probe,
+                    )
 
             tasks = [batch.task(t) for t in plan.task_ids]
             dead_before = len(state.dead_nodes)
+            if probe is not None:
+                probe.on_subbatch(len(result.sub_batches), runtime.clock)
             with tele.span("execute"):
                 execution = runtime.execute(
                     tasks,
@@ -307,6 +339,8 @@ def _run_batch_inner(
 
     result.makespan = runtime.clock
     result.stats = state.stats
+    if probe is not None:
+        result.timeseries = probe.to_dict()
     if fault_model is not None:
         result.fault_stats = fault_model.stats
         if telemetry:

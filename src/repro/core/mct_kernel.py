@@ -152,6 +152,15 @@ class KernelStats:
     col_refreshes: Count = 0
     pair_evaluations: Count = 0
     logical_evaluations: Count = 0
+    # Co-reader rows touched but *not* fully rewritten (column-only
+    # updates): the row-skip half of the incremental win.
+    value_rows_skipped: Count = 0
+    # Live-row compactions of the value/staging buffers (the
+    # remaining*2 <= cap shrink).
+    compactions: Count = 0
+    # Commits whose tuple-flip scan was skipped because the tuple's first
+    # commit had already placed every one of its files.
+    flip_shortcut_hits: Count = 0
 
     @property
     def evaluations_saved(self) -> Count:
@@ -168,6 +177,9 @@ class KernelStats:
             "pair_evaluations": self.pair_evaluations,
             "logical_evaluations": self.logical_evaluations,
             "evaluations_saved": self.evaluations_saved,
+            "value_rows_skipped": self.value_rows_skipped,
+            "compactions": self.compactions,
+            "flip_shortcut_hits": self.flip_shortcut_hits,
         }
 
 
@@ -519,6 +531,9 @@ def incremental_mct_map(
     tuple_flipped = bytearray(setup.n_tuples)
     rows_refreshed = 0
     value_rows = 0
+    rows_skipped = 0
+    compactions = 0
+    flip_hits = 0
     pair_evals = n * c
     inf = np.inf
     np_add, np_where = np.add, np.where
@@ -557,6 +572,7 @@ def incremental_mct_map(
         if remaining == 0:
             break
         if remaining * 2 <= cap and cap >= 64:
+            compactions += 1
             # Compact to the live rows, preserving their relative order.
             live_rows = np.flatnonzero(unscheduled[orig_of])
             orig_of = orig_of[live_rows]
@@ -574,7 +590,9 @@ def incremental_mct_map(
         all_flipped = False
         # A tuple's first commit places every one of its files, so later
         # commits of the same tuple can never flip — skip the scan.
-        if nocopy and not tuple_flipped[tid]:
+        if nocopy and tuple_flipped[tid]:
+            flip_hits += 1
+        elif nocopy:
             tuple_flipped[tid] = 1
             fl_k = task_file_lists[k]
             flip = [f for f in fl_k if f in nocopy]
@@ -631,6 +649,7 @@ def incremental_mct_map(
                         if nf
                         else live
                     )
+                rows_skipped += m - nf
                 if nf:
                     if nf <= _ROWWISE_MAX:
                         # Few dirty rows (the steady state under high
@@ -669,6 +688,7 @@ def incremental_mct_map(
                     value_rows += nf
             else:
                 col_rows = live
+                rows_skipped += m
             mc = len(col_rows)
             if mc and mc <= _ROWWISE_MAX:
                 # Few dirty rows: column-i lane of ``stage_row``, per row.
@@ -707,4 +727,7 @@ def incremental_mct_map(
     stats.stage_rows_refreshed += rows_refreshed
     stats.value_rows_refreshed = value_rows
     stats.pair_evaluations = pair_evals
+    stats.value_rows_skipped = rows_skipped
+    stats.compactions = compactions
+    stats.flip_shortcut_hits = flip_hits
     return mapping, stats

@@ -100,4 +100,10 @@ class MinMinScheduler(Scheduler):
             return reference_mct_map(setup, self._pick, self.pick_rule, log)
         mapping, stats = incremental_mct_map(setup, self._pick, self.pick_rule, log)
         self.kernel_stats = stats
+        if telemetry.enabled:
+            # Surface the kernel's real-work counters per run (manifest
+            # `telemetry.counters` + `repro profile`), not just per bench
+            # cell; counters sum across sub-batch mapping calls.
+            for key, value in stats.to_dict().items():
+                telemetry.count(f"kernel/{key}", value)
         return mapping

@@ -72,6 +72,9 @@ class BatchResult:
     runtime: Runtime | None = None
     # Filled by run_batch(faults=...): injected/recovered fault accounting.
     fault_stats: FaultStats | None = None
+    # Filled by run_batch(timeseries=...): the simulated-time series block
+    # (repro.obs.timeseries), already in its manifest/JSON dict form.
+    timeseries: dict[str, Any] | None = None
 
     @property
     def num_sub_batches(self) -> Count:

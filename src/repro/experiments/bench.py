@@ -30,6 +30,7 @@ them. See ``docs/performance.md``.
 from __future__ import annotations
 
 import json
+import os
 import platform as _platform
 import time
 from dataclasses import asdict, dataclass
@@ -45,6 +46,7 @@ from ..workloads.image import generate_image_batch
 
 __all__ = [
     "BenchCellResult",
+    "append_trajectory",
     "bench_mapping_cell",
     "bench_end_to_end_cell",
     "default_bench_cells",
@@ -269,6 +271,57 @@ def run_bench_cells(
                 )
             )
     return results
+
+
+def _current_sha() -> str:
+    """Short commit id for trajectory points (env > git > ``unknown``).
+
+    CI exports ``GITHUB_SHA``; local runs fall back to ``git rev-parse``.
+    Benchmarks are wall-clock territory, so a subprocess here is fine
+    (this module is already outside the simulated-time core).
+    """
+    env = os.environ.get("GITHUB_SHA", "").strip()
+    if env:
+        return env[:8]
+    try:
+        import subprocess
+
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def append_trajectory(
+    results: list[BenchCellResult], path: str | Path, sha: str | None = None
+) -> Path:
+    """Append one speedup point per cell to the JSONL bench trajectory.
+
+    The trajectory (``benchmarks/BENCH_trajectory.jsonl`` by convention) is
+    the cross-commit history the HTML report renders as a sparkline: one
+    ``repro-bench-point`` record per (commit, cell), in append order. Every
+    point is decision-checked by construction — the cell functions assert
+    reference/optimized identity before any timing is accepted.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    sha = _current_sha() if sha is None else sha
+    with open(path, "a") as fh:
+        for r in results:
+            point = {
+                "kind": "repro-bench-point",
+                "sha": sha,
+                "cell": r.cell,
+                "speedup": round(r.speedup, 3),
+                "decision_checked": True,
+            }
+            fh.write(json.dumps(point, sort_keys=True) + "\n")
+    return path
 
 
 def write_bench(results: list[BenchCellResult], out: str | Path) -> Path:

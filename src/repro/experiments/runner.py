@@ -16,6 +16,7 @@ __all__ = [
     "ExperimentConfig",
     "default_scheduler_kwargs",
     "run_config",
+    "run_config_cell",
     "run_config_result",
 ]
 
@@ -43,6 +44,10 @@ class ExperimentConfig:
     # Collect run telemetry/metrics (repro.obs). Non-semantic: does not
     # change the simulated result, and is excluded from the result-cache key.
     telemetry: bool = False
+    # Attach simulated-time series probes (repro.obs.timeseries). Also
+    # non-semantic: probes only observe, so decisions and the Record are
+    # unchanged and the flag is excluded from the result-cache key.
+    timeseries: bool = False
     # Fault-injection spec (:class:`repro.faults.FaultSpec` as a dict), or
     # ``None`` for a fault-free run. Semantic: part of the result-cache key.
     faults: dict | None = None
@@ -87,14 +92,18 @@ def run_config_result(cfg: ExperimentConfig) -> BatchResult:
         scheduler_kwargs=kwargs,
         audit=cfg.audit,
         telemetry=cfg.telemetry,
+        timeseries=cfg.timeseries,
         faults=cfg.faults,
     )
 
 
-def run_config(cfg: ExperimentConfig, x: float | str | None = None) -> Record:
-    """Execute one experiment cell and summarise it as a :class:`Record`."""
+def run_config_cell(
+    cfg: ExperimentConfig, x: float | str | None = None
+) -> tuple[Record, dict | None]:
+    """Execute one cell; returns the :class:`Record` summary plus the
+    run's ``timeseries`` block (``None`` unless ``cfg.timeseries``)."""
     result: BatchResult = run_config_result(cfg)
-    return Record(
+    record = Record(
         experiment=cfg.experiment,
         workload=cfg.workload,
         scheme=cfg.scheme if cfg.allow_replication else f"{cfg.scheme}-norep",
@@ -108,3 +117,9 @@ def run_config(cfg: ExperimentConfig, x: float | str | None = None) -> Record:
         evictions=result.stats.evictions,
         sub_batches=result.num_sub_batches,
     )
+    return record, result.timeseries
+
+
+def run_config(cfg: ExperimentConfig, x: float | str | None = None) -> Record:
+    """Execute one experiment cell and summarise it as a :class:`Record`."""
+    return run_config_cell(cfg, x)[0]

@@ -22,6 +22,7 @@ schedulers, so instrumented producers can import it without cycles.
 
 from .core import SpanStats, Telemetry, telemetry
 from .decisions import Decision, DecisionLog, DecisionReplay, ReplayedDecision
+from .diff import ManifestDiff, diff_manifests, format_diff, load_run
 from .export import (
     MANIFEST_KIND,
     MANIFEST_VERSION,
@@ -35,7 +36,14 @@ from .export import (
     write_ndjson,
 )
 from .metrics import RunMetrics, compute_metrics, conservation_residual_mb
+from .report import load_trajectory, render_report, write_report
 from .schema import SchemaError, check, validate
+from .timeseries import (
+    ProbeConfig,
+    TimeSeriesProbe,
+    merge_timeseries,
+    resolve_timeseries,
+)
 
 __all__ = [
     "MANIFEST_KIND",
@@ -43,19 +51,29 @@ __all__ = [
     "Decision",
     "DecisionLog",
     "DecisionReplay",
+    "ManifestDiff",
+    "ProbeConfig",
     "ReplayedDecision",
     "RunMetrics",
     "SchemaError",
     "SpanStats",
     "Telemetry",
+    "TimeSeriesProbe",
     "build_manifest",
     "check",
     "compute_metrics",
     "conservation_residual_mb",
+    "diff_manifests",
+    "format_diff",
+    "load_run",
     "load_schema",
+    "load_trajectory",
     "manifest_to_ndjson",
     "merge_snapshots",
+    "merge_timeseries",
     "merged_chrome_trace",
+    "render_report",
+    "resolve_timeseries",
     "telemetry",
     "validate",
     "validate_manifest",

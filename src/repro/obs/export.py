@@ -142,6 +142,11 @@ def build_manifest(
     fault_stats = getattr(result, "fault_stats", None)
     if fault_stats is not None:
         manifest["faults"] = fault_stats.to_dict()
+    # Time-series probes likewise: the key exists only on runs executed
+    # with ``run_batch(timeseries=...)`` enabled (repro.obs.timeseries).
+    timeseries = getattr(result, "timeseries", None)
+    if timeseries is not None:
+        manifest["timeseries"] = timeseries
     out = _jsonable(manifest)
     assert isinstance(out, dict)
     return out
@@ -197,6 +202,27 @@ def manifest_to_ndjson(manifest: Mapping[str, Any]) -> Iterator[str]:
     faults = manifest.get("faults")
     if faults is not None:
         yield json.dumps({"type": "faults", **faults}, allow_nan=False)
+    timeseries = manifest.get("timeseries")
+    if timeseries is not None:
+        # One summary line per series (name, unit, point count, last value)
+        # keeps the NDJSON greppable without inlining whole point arrays;
+        # events are small and flatten one per line.
+        for name, series in sorted(timeseries.get("series", {}).items()):
+            points = series.get("points", [])
+            yield json.dumps(
+                {
+                    "type": "timeseries",
+                    "name": name,
+                    "unit": series.get("unit"),
+                    "points": len(points),
+                    "last": points[-1][1] if points else None,
+                },
+                allow_nan=False,
+            )
+        for event in timeseries.get("events", []):
+            yield json.dumps(
+                {"type": "timeseries-event", **event}, allow_nan=False
+            )
 
 
 def write_ndjson(manifest: Mapping[str, Any], path: str | Path) -> Path:

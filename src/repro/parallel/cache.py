@@ -54,7 +54,7 @@ def _jsonable(value):
 # Config fields that do not affect the simulated Record and therefore must
 # not enter the cache key (flipping them would otherwise invalidate every
 # cached cell for no reason).
-_NON_SEMANTIC_FIELDS = frozenset({"telemetry"})
+_NON_SEMANTIC_FIELDS = frozenset({"telemetry", "timeseries"})
 
 
 def config_key(cfg: ExperimentConfig, x: float | str | None = None) -> str:

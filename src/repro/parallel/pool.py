@@ -30,9 +30,10 @@ from typing import Any
 import numpy as np
 
 from ..experiments.report import Record
-from ..experiments.runner import ExperimentConfig, run_config
+from ..experiments.runner import ExperimentConfig, run_config_cell
 from ..obs.core import telemetry
 from ..obs.export import merge_snapshots
+from ..obs.timeseries import merge_timeseries
 from .cache import ResultCache, config_key
 
 __all__ = [
@@ -146,7 +147,7 @@ def _run_cell(payload: tuple[ExperimentConfig, float | str | None, bool]):
         telemetry.enable()
     t0 = time.perf_counter()
     try:
-        record = run_config(cfg, x)
+        record, timeseries = run_config_cell(cfg, x)
         elapsed = time.perf_counter() - t0
         snapshot = telemetry.snapshot() if collect else None
     finally:
@@ -161,6 +162,7 @@ def _run_cell(payload: tuple[ExperimentConfig, float | str | None, bool]):
         "elapsed_s": elapsed,
         "cached": False,
         "telemetry": snapshot,
+        "timeseries": timeseries,
     }
     return record, manifest
 
@@ -240,11 +242,20 @@ def aggregate_cells(cells: Sequence[CellResult]) -> dict[str, Any]:
         for c in cells
         if c.manifest is not None and c.manifest.get("telemetry") is not None
     ]
+    # Timeseries blocks are per-cell artifacts keyed by config digest; the
+    # merge is a key-sorted union, so workers=1 and workers=N aggregate to
+    # byte-identical results (each cell's block is computed in its own run).
+    blocks = {
+        c.manifest["config_digest"]: c.manifest["timeseries"]
+        for c in cells
+        if c.manifest is not None and c.manifest.get("timeseries") is not None
+    }
     return {
         "cells": len(cells),
         "cached": sum(1 for c in cells if c.cached),
         "elapsed_s": sum(c.elapsed_s for c in cells),
         "telemetry": merge_snapshots(snapshots) if snapshots else None,
+        "timeseries": merge_timeseries(blocks) if blocks else None,
     }
 
 

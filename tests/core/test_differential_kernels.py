@@ -53,7 +53,14 @@ def _kernel_run(scheme: str, n: int, c: int, overlap: str, seed: int,
         plan = sched.next_subbatch(
             batch, [t.task_id for t in batch.tasks], platform, state
         )
-        counters = dict(telemetry.snapshot().get("counters", {}))
+        # kernel/* counters are the incremental kernel's work accounting —
+        # they describe the optimization itself, not decisions, and exist
+        # only on the optimized flavour by design.
+        counters = {
+            k: v
+            for k, v in telemetry.snapshot().get("counters", {}).items()
+            if not k.startswith("kernel/")
+        }
     finally:
         telemetry.disable()
         telemetry.reset()

@@ -75,13 +75,13 @@ class TestCacheIntegration:
         assert [c.cached for c in first] == [False, False, False]
 
         calls = []
-        real = pool_module.run_config
+        real = pool_module.run_config_cell
 
         def counting(cfg, x=None):
             calls.append(cfg)
             return real(cfg, x)
 
-        monkeypatch.setattr(pool_module, "run_config", counting)
+        monkeypatch.setattr(pool_module, "run_config_cell", counting)
         second = run_cells(configs, xs, cache=cache)
         assert [c.cached for c in second] == [True, True, True]
         assert calls == []  # zero simulations on the replay
@@ -157,7 +157,7 @@ class TestFigureIntegration:
         def boom(cfg, x=None):  # any simulation on the replay is a failure
             raise AssertionError(f"re-simulated {cfg}")
 
-        monkeypatch.setattr(pool_module, "run_config", boom)
+        monkeypatch.setattr(pool_module, "run_config_cell", boom)
         second = fig5b_batch_size(**kwargs)
         assert second.records == first.records
         assert cache.stats.hits == 2
