@@ -26,7 +26,13 @@ E6. no activity on a compute node after its injected crash time — no
     execution (fault injection, ``docs/faults.md``);
 E7. every injected transfer failure is recovered: a later successful
     transfer delivers the same file to the same node, or the node itself
-    crashed (its unfinished tasks were rescheduled elsewhere).
+    crashed (its unfinished tasks were rescheduled elsewhere);
+E8. cross-batch cache-hit attribution is exact: a hit counted as
+    cross-batch consumed a copy resident since the prior batch's commit
+    (held at batch start, neither evicted, crashed away nor re-staged in
+    between), and every hit on such a copy *is* counted cross-batch
+    (online multi-batch sessions, ``docs/online.md``; skipped when the
+    trail carries no cache-hit events).
 
 Use :func:`repro.core.driver.run_batch` with ``audit=True`` to execute a
 batch with the trail enabled and fail fast on any violation; the test
@@ -41,6 +47,7 @@ from typing import TYPE_CHECKING
 
 from ..cluster.events import (
     AuditTrail,
+    CacheHitEvent,
     CrashEvent,
     EvictionEvent,
     ExecEvent,
@@ -331,6 +338,49 @@ def _audit_failed_transfers(trail: AuditTrail, report: AuditReport) -> None:
             )
 
 
+def _audit_cross_batch(trail: AuditTrail, report: AuditReport) -> None:
+    """E8 — cross-batch hit attribution matches the replayed residency.
+
+    Replays the commit-ordered trail maintaining the set of copies resident
+    *continuously* since the batch started (the prior batch's committed
+    contents, per ``initial_holdings``): an eviction, a crash or a re-stage
+    of the pair removes it. Every cache-hit event must agree with the set —
+    counted cross-batch iff the consumed copy is still in it.
+    """
+    if not trail.cache_hits:
+        return  # not an online session: nothing was attributed
+    resident: set[tuple[int, str]] = {
+        (node, f)
+        for node, files in trail.initial_holdings.items()
+        for f in files
+    }
+    for event in trail.in_commit_order():
+        if isinstance(event, CacheHitEvent):
+            key = (event.node, event.file_id)
+            if event.cross_batch and key not in resident:
+                report.add(
+                    "E8",
+                    f"hit on {event.file_id} at node {event.node} counted "
+                    "as cross-batch but the copy was not resident since "
+                    "the prior batch's commit",
+                )
+            elif not event.cross_batch and key in resident:
+                report.add(
+                    "E8",
+                    f"hit on {event.file_id} at node {event.node} consumed "
+                    "a copy carried from the prior batch but was not "
+                    "counted as cross-batch",
+                )
+        elif isinstance(event, EvictionEvent):
+            resident.discard((event.node, event.file_id))
+        elif isinstance(event, TransferEvent):
+            # A re-staged copy is fresh, not carried (only possible after
+            # the carried copy left; kept for defence in depth).
+            resident.discard((event.dest, event.file_id))
+        elif isinstance(event, CrashEvent):
+            resident = {(n, f) for n, f in resident if n != event.node}
+
+
 def _all_timelines(runtime: Runtime) -> list[Timeline]:
     out = list(runtime.node_tl)
     if runtime.cpu_tl is not None:
@@ -364,6 +414,7 @@ def audit_runtime(
     _audit_no_staging_during_exec(runtime, report)
     _audit_node_crashes(runtime, trail, report)
     _audit_failed_transfers(trail, report)
+    _audit_cross_batch(trail, report)
     if results is not None:
         _audit_records(runtime, trail, results, report)
     report.checked_events = (
@@ -372,5 +423,6 @@ def audit_runtime(
         + len(trail.evictions)
         + len(trail.failed_transfers)
         + len(trail.crashes)
+        + len(trail.cache_hits)
     )
     return report

@@ -54,6 +54,11 @@ Commands
     Fault-injection sweep (``docs/faults.md``): makespan-degradation curve
     over transfer-failure rates x schemes, each cell optionally audited
     against E1–E7. The nightly chaos CI job runs this at reduced scale.
+``stream``
+    Run a streaming multi-batch session (``docs/online.md``) from a stream
+    spec JSON: jobs arrive over simulated time, an admission policy forms
+    dispatch windows, and warm-cache carryover is compared against the
+    cold-start baseline; emits the manifest's ``online`` block.
 
 ``run`` and ``audit`` accept ``--faults SPEC.json`` to inject faults from
 a :class:`repro.faults.FaultSpec` JSON file (see ``examples/faults/``).
@@ -74,6 +79,7 @@ Examples
     python -m repro purity src/repro --entry repro.parallel.pool:_run_cell
     python -m repro audit --workload sat --tasks 30 --schemes minmin jdp
     python -m repro chaos --tasks 30 --rates 0 0.2 0.4 --json degradation.json
+    python -m repro stream examples/streams/poisson-osumed.json --html stream.html
 """
 
 from __future__ import annotations
@@ -96,11 +102,7 @@ from .experiments import (
     fig6b_scheduling_overhead,
 )
 from .parallel import DEFAULT_CACHE_DIR, ResultCache, map_configs
-from .workloads import (
-    generate_image_batch,
-    generate_sat_batch,
-    generate_synthetic_batch,
-)
+from .workloads import available_workloads, make_batch
 
 __all__ = ["main", "build_parser"]
 
@@ -116,17 +118,8 @@ def _platform(args):
 
 
 def _batch(args, num_storage: int) -> Batch:
-    if args.workload == "sat":
-        return generate_sat_batch(args.tasks, args.overlap, num_storage, args.seed)
-    if args.workload == "image":
-        return generate_image_batch(args.tasks, args.overlap, num_storage, args.seed)
-    return generate_synthetic_batch(
-        args.tasks,
-        num_files=max(args.tasks * 2, 16),
-        files_per_task=4,
-        num_storage=num_storage,
-        hot_probability=0.6,
-        seed=args.seed,
+    return make_batch(
+        args.workload, args.tasks, args.overlap, num_storage, args.seed
     )
 
 
@@ -190,7 +183,9 @@ def _load_faults(path: str) -> dict:
 
 
 def _add_workload_args(p: argparse.ArgumentParser):
-    p.add_argument("--workload", choices=("sat", "image", "synthetic"), default="image")
+    p.add_argument(
+        "--workload", choices=tuple(available_workloads()), default="image"
+    )
     p.add_argument("--overlap", default="high")
     p.add_argument("--tasks", type=int, default=40)
     p.add_argument("--seed", type=int, default=0)
@@ -457,7 +452,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pc.add_argument("--schemes", nargs="+", default=None,
                     help="schemes to sweep (default: bipartition minmin jdp)")
-    pc.add_argument("--workload", choices=("sat", "image"), default="image")
+    pc.add_argument(
+        "--workload", choices=tuple(available_workloads()), default="image"
+    )
     pc.add_argument("--overlap", default="high")
     pc.add_argument("--tasks", type=int, default=30)
     pc.add_argument("--storage", choices=("xio", "osumed"), default="xio")
@@ -478,6 +475,37 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--csv", metavar="FILE", help="also write the table as CSV")
     pc.add_argument("--json", metavar="FILE", help="also write the records as JSON")
     _add_parallel_args(pc, cache_default_on=False)
+
+    pstream = sub.add_parser(
+        "stream",
+        help="run a streaming multi-batch session from a stream spec JSON "
+        "(warm-cache carryover vs cold-start; see docs/online.md)",
+    )
+    pstream.add_argument(
+        "spec", metavar="SPEC.json",
+        help="stream spec JSON (see examples/streams/ and docs/online.md)",
+    )
+    pstream.add_argument(
+        "--mode", choices=("warm", "cold", "both"), default="both",
+        help="carryover mode(s) to run (default: both, printing the delta)",
+    )
+    pstream.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the run manifest JSON ('-MODE' is inserted before the "
+        "extension when more than one mode runs)",
+    )
+    pstream.add_argument(
+        "--ndjson", metavar="FILE", default=None,
+        help="also write the manifest as NDJSON (same mode suffix rule)",
+    )
+    pstream.add_argument(
+        "--html", metavar="FILE", default=None,
+        help="also render the manifest as a self-contained HTML report",
+    )
+    pstream.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write one JSON document with the queueing summary per mode",
+    )
     return parser
 
 
@@ -1218,6 +1246,92 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _with_mode_suffix(path: str, suffix: str) -> str:
+    if not suffix:
+        return path
+    from pathlib import Path as _Path
+
+    p = _Path(path)
+    return str(p.with_name(f"{p.stem}{suffix}{p.suffix or ''}"))
+
+
+def _cmd_stream(args) -> int:
+    import hashlib
+    import json as _json
+
+    from .experiments import run_stream_config, stream_config_from_dict
+    from .obs import (
+        build_stream_manifest,
+        validate_manifest,
+        write_manifest,
+        write_ndjson,
+    )
+    from .obs.report import write_report
+
+    with open(args.spec) as fh:
+        spec = _json.load(fh)
+    try:
+        cfg = stream_config_from_dict(spec)
+    except (TypeError, ValueError) as exc:
+        print(f"invalid stream spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    digest = hashlib.sha256(
+        _json.dumps(spec, sort_keys=True).encode()
+    ).hexdigest()
+
+    modes = ("warm", "cold") if args.mode == "both" else (args.mode,)
+    suffixed = len(modes) > 1
+    rc = 0
+    summaries: dict[str, dict] = {}
+    results = {}
+    for mode in modes:
+        res = run_stream_config(cfg, warm=(mode == "warm"))
+        results[mode] = res
+        print(res.summary())
+        manifest = build_stream_manifest(res, config=spec, config_digest=digest)
+        errors = validate_manifest(manifest)
+        summaries[mode] = manifest["online"]["queueing"]
+        suffix = f"-{mode}" if suffixed else ""
+        if args.out:
+            out = _with_mode_suffix(args.out, suffix)
+            write_manifest(manifest, out)
+            print(f"manifest written to {out}")
+        if args.ndjson:
+            out = _with_mode_suffix(args.ndjson, suffix)
+            write_ndjson(manifest, out)
+            print(f"NDJSON written to {out}")
+        if args.html:
+            out = write_report(
+                manifest,
+                _with_mode_suffix(args.html, suffix),
+                title=f"stream {cfg.workload}/{cfg.scheme} ({mode})",
+            )
+            print(f"report written to {out}")
+        if errors:
+            for err in errors:
+                print(f"schema violation ({mode}): {err}", file=sys.stderr)
+            rc = 1
+        else:
+            print(f"{mode} manifest validates against run-manifest.schema.json")
+    if "warm" in results and "cold" in results:
+        warm, cold = results["warm"], results["cold"]
+        print(
+            f"warm vs cold: mean response {warm.mean_response_s:.1f}s vs "
+            f"{cold.mean_response_s:.1f}s, cross-batch reuse "
+            f"{warm.cross_batch_hit_volume_mb:.0f} MB vs "
+            f"{cold.cross_batch_hit_volume_mb:.0f} MB"
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(
+                {"spec": spec, "config_digest": digest, "modes": summaries},
+                fh,
+                indent=2,
+            )
+        print(f"JSON summary written to {args.json}")
+    return rc
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -1235,6 +1349,7 @@ def main(argv: list[str] | None = None) -> int:
         "diff": _cmd_diff,
         "report": _cmd_report,
         "chaos": _cmd_chaos,
+        "stream": _cmd_stream,
     }
     return handlers[args.command](args)
 

@@ -20,6 +20,7 @@ __all__ = [
     "ExecEvent",
     "EvictionEvent",
     "CrashEvent",
+    "CacheHitEvent",
     "AuditTrail",
 ]
 
@@ -87,6 +88,24 @@ class EvictionEvent:
 
 
 @dataclass(frozen=True)
+class CacheHitEvent:
+    """One task input served from a node's disk cache (no transfer).
+
+    Recorded only while the cluster state's cross-batch carryover tracking
+    is armed (online multi-batch sessions, :mod:`repro.online`), keeping
+    single-batch audit trails unchanged. ``cross_batch`` marks hits the
+    state attributed to a copy resident since the prior batch boundary; the
+    auditor's E8 invariant replays the trail to verify that attribution.
+    """
+
+    seq: int
+    node: int
+    file_id: str
+    size_mb: float
+    cross_batch: bool
+
+
+@dataclass(frozen=True)
 class CrashEvent:
     """A compute node's permanent failure (fault model).
 
@@ -116,6 +135,7 @@ class AuditTrail:
     evictions: list[EvictionEvent] = field(default_factory=list)
     failed_transfers: list[FailedTransferEvent] = field(default_factory=list)
     crashes: list[CrashEvent] = field(default_factory=list)
+    cache_hits: list[CacheHitEvent] = field(default_factory=list)
     initial_holdings: dict[int, dict[str, float]] = field(default_factory=dict)
     _seq: int = 0
 
@@ -179,10 +199,22 @@ class AuditTrail:
             CrashEvent(self._next_seq(), node, time, lost_files)
         )
 
+    def record_cache_hit(
+        self, node: int, file_id: str, size_mb: float, cross_batch: bool
+    ) -> None:
+        self.cache_hits.append(
+            CacheHitEvent(self._next_seq(), node, file_id, size_mb, cross_batch)
+        )
+
     def in_commit_order(
         self,
     ) -> list[
-        TransferEvent | ExecEvent | EvictionEvent | FailedTransferEvent | CrashEvent
+        TransferEvent
+        | ExecEvent
+        | EvictionEvent
+        | FailedTransferEvent
+        | CrashEvent
+        | CacheHitEvent
     ]:
         """All events merged back into their global commit order."""
         merged: list[
@@ -191,9 +223,10 @@ class AuditTrail:
             | EvictionEvent
             | FailedTransferEvent
             | CrashEvent
+            | CacheHitEvent
         ] = [
             *self.transfers, *self.execs, *self.evictions,
-            *self.failed_transfers, *self.crashes,
+            *self.failed_transfers, *self.crashes, *self.cache_hits,
         ]
         merged.sort(key=lambda e: e.seq)
         return merged

@@ -267,7 +267,6 @@ class Runtime:
         # of the same file draw fresh failure outcomes. Only advanced at
         # commit time, keeping speculative ECT evaluations consistent.
         self._xfer_instance: dict[tuple[str, int], int] = {}
-        self._applied_disk_losses: set[int] = set()
         # Commit-ordered event log for the schedule auditor
         # (repro.analysis.audit); None keeps the hot path allocation-free.
         self.trail: AuditTrail | None = None
@@ -594,7 +593,13 @@ class Runtime:
         for f in tent.task.files:
             if f not in incoming_ids:
                 cache.pin(f)
-                self.state.record_cache_hit(self.state.size_of(f))
+                size = self.state.size_of(f)
+                carried = self.state.record_cache_hit(size, node, f)
+                if self.trail is not None and self.state.carryover_active:
+                    # Online sessions only: log every hit with its
+                    # cross-batch attribution so the auditor's E8 replay
+                    # can verify it; single-batch trails stay unchanged.
+                    self.trail.record_cache_hit(node, f, size, carried)
 
         # Make room for the incoming files, evicting per policy.
         needed = sum(self.state.size_of(f) for f in incoming_ids)
@@ -753,9 +758,12 @@ class Runtime:
         faults = self.faults
         assert faults is not None
         for idx, loss in enumerate(faults.spec.disk_losses):
-            if idx in self._applied_disk_losses or loss.time > self.clock:
+            # Applied-loss dedup lives on the fault model, not the runtime:
+            # online sessions share one model across per-batch runtimes, so
+            # each injected loss shrinks a disk exactly once per stream.
+            if idx in faults.applied_disk_losses or loss.time > self.clock:
                 continue
-            self._applied_disk_losses.add(idx)
+            faults.applied_disk_losses.add(idx)
             if (
                 loss.node in self.state.dead_nodes
                 or not 0 <= loss.node < self.platform.num_compute
@@ -989,6 +997,9 @@ class Runtime:
             self.state.stats.evicted_volume_mb - base_stats.evicted_volume_mb,
             self.state.stats.cache_hits - base_stats.cache_hits,
             self.state.stats.cache_hit_volume_mb - base_stats.cache_hit_volume_mb,
+            self.state.stats.cross_batch_hits - base_stats.cross_batch_hits,
+            self.state.stats.cross_batch_hit_volume_mb
+            - base_stats.cross_batch_hit_volume_mb,
         )
         return ExecutionResult(
             start_time=start_time,

@@ -40,6 +40,11 @@ class TransferStats:
     evicted_volume_mb: MB = 0.0
     cache_hits: Count = 0
     cache_hit_volume_mb: MB = 0.0
+    # Cache hits on files resident since the *prior batch's* commit (online
+    # multi-batch sessions, repro.online). Always zero unless the state's
+    # carryover tracking was armed with :meth:`ClusterState.begin_carryover`.
+    cross_batch_hits: Count = 0
+    cross_batch_hit_volume_mb: MB = 0.0
 
     def merge(self, other: TransferStats) -> TransferStats:
         return TransferStats(
@@ -51,6 +56,8 @@ class TransferStats:
             self.evicted_volume_mb + other.evicted_volume_mb,
             self.cache_hits + other.cache_hits,
             self.cache_hit_volume_mb + other.cache_hit_volume_mb,
+            self.cross_batch_hits + other.cross_batch_hits,
+            self.cross_batch_hit_volume_mb + other.cross_batch_hit_volume_mb,
         )
 
 
@@ -75,6 +82,10 @@ class ClusterState:
         self.stats = TransferStats()
         # Compute nodes lost to injected crashes (empty without faults).
         self.dead_nodes: set[int] = set()
+        # (node, file) pairs resident at the previous batch boundary; armed
+        # by :meth:`begin_carryover` (online multi-batch sessions only) and
+        # None otherwise, keeping single-batch runs allocation-free.
+        self._carryover: set[tuple[int, str]] | None = None
 
     @classmethod
     def initial(cls, platform: Platform, batch: Batch) -> ClusterState:
@@ -84,6 +95,24 @@ class ClusterState:
     def register_files(self, files: dict[str, FileInfo]) -> None:
         """Add catalog entries (e.g. when running successive batches)."""
         self.files.update(files)
+
+    def begin_carryover(self) -> None:
+        """Snapshot current residency as the prior batch's committed state.
+
+        Online sessions (:mod:`repro.online`) call this at every batch
+        boundary: cache hits on a pair still in the snapshot count as
+        *cross-batch* hits — the payoff of warm-cache carryover — until the
+        copy is evicted, crashed away or re-staged. Audit invariant E8
+        verifies the counted hits against the commit-ordered trail.
+        """
+        self._carryover = {
+            (cache.node_id, f) for cache in self.caches for f in cache.files
+        }
+
+    @property
+    def carryover_active(self) -> bool:
+        """Whether cross-batch hit tracking is armed (online sessions)."""
+        return self._carryover is not None
 
     # -- queries ---------------------------------------------------------------
     def holders(self, file_id: str) -> frozenset[int]:
@@ -147,6 +176,10 @@ class ClusterState:
             if not holders:
                 del self._holders[file_id]
             self._holders_cache.pop(file_id, None)
+        if self._carryover is not None:
+            # The copy is gone (evicted, dropped or crashed away); it can no
+            # longer satisfy a cross-batch hit.
+            self._carryover.discard((node_id, file_id))
 
     def mark_dead(self, node_id: int) -> list[tuple[str, float]]:
         """Fail ``node_id`` permanently, losing its cached files.
@@ -179,10 +212,26 @@ class ClusterState:
         self.stats.evictions += 1
         self.stats.evicted_volume_mb += size_mb
 
-    def record_cache_hit(self, size_mb: MB) -> None:
-        """A task input served from the local disk cache (no transfer)."""
+    def record_cache_hit(
+        self, size_mb: MB, node_id: int | None = None, file_id: str | None = None
+    ) -> bool:
+        """A task input served from the local disk cache (no transfer).
+
+        Returns True when the hit was served by a copy resident since the
+        prior batch boundary (a *cross-batch* hit; see
+        :meth:`begin_carryover`) — always False outside online sessions.
+        """
         self.stats.cache_hits += 1
         self.stats.cache_hit_volume_mb += size_mb
+        if (
+            self._carryover is not None
+            and node_id is not None
+            and (node_id, file_id) in self._carryover
+        ):
+            self.stats.cross_batch_hits += 1
+            self.stats.cross_batch_hit_volume_mb += size_mb
+            return True
+        return False
 
     def check_consistency(self) -> None:
         """Invariant check used by tests: holder sets match cache contents."""

@@ -120,6 +120,8 @@ def run_batch(
     timeseries: bool | ProbeConfig | dict | None = None,
     faults: FaultSpec | dict | None = None,
     reference: bool = False,
+    state: ClusterState | None = None,
+    fault_model: FaultModel | None = None,
 ) -> BatchResult:
     """Run a whole batch under one scheduler; returns the end-to-end result.
 
@@ -146,7 +148,7 @@ def run_batch(
     audit:
         Record a commit-ordered audit trail during execution and verify
         the finished trace with :func:`repro.analysis.audit.audit_runtime`
-        (invariants E1–E5 of ``docs/invariants.md``).  The report is
+        (invariants E1–E8 of ``docs/invariants.md``).  The report is
         attached as ``result.audit_report``; any violation raises
         :class:`~repro.analysis.audit.AuditError`.
     telemetry:
@@ -183,11 +185,30 @@ def run_batch(
         logs are identical either way (differentially tested); the flag
         exists as the oracle for equivalence tests and ``repro bench``.
         See ``docs/performance.md``.
+    state:
+        A pre-existing :class:`~repro.cluster.state.ClusterState` to run
+        against instead of the paper's cold start (all files on the storage
+        cluster only). Online sessions (:mod:`repro.online`) pass the same
+        state into successive calls so disk-cache contents, dead nodes and
+        transfer statistics carry across batches; the batch's file catalog
+        is registered into it. Must have been built for ``platform``.
+    fault_model:
+        A live :class:`~repro.faults.FaultModel` shared across successive
+        batches (online sessions): recovery counters accumulate and each
+        injected disk loss applies once per stream. Mutually exclusive
+        with ``faults``.
     """
     if isinstance(scheduler, str):
         scheduler = make_scheduler(scheduler, **(scheduler_kwargs or {}))
     scheduler.reference = reference
     scheduler.reset()
+
+    if fault_model is not None and faults is not None:
+        raise ValueError("pass either faults or fault_model, not both")
+    if state is not None and state.platform is not platform:
+        raise ValueError(
+            "the provided cluster state was built for a different platform"
+        )
 
     was_enabled = tele.enabled
     if telemetry:
@@ -209,6 +230,8 @@ def run_batch(
             probe_config=resolve_timeseries(timeseries),
             fault_spec=resolve_spec(faults),
             reference=reference,
+            state=state,
+            fault_model=fault_model,
         )
     finally:
         if telemetry and not was_enabled:
@@ -231,6 +254,8 @@ def _run_batch_inner(
     probe_config: ProbeConfig | None,
     fault_spec: FaultSpec | None,
     reference: bool = False,
+    state: ClusterState | None = None,
+    fault_model: FaultModel | None = None,
 ) -> BatchResult:
 
     # The paper assumes every single task's files fit on a compute node
@@ -245,8 +270,16 @@ def _run_batch_inner(
                 "paper's model requires any single task's files to fit"
             )
 
-    state = ClusterState.initial(platform, batch)
-    fault_model = FaultModel(fault_spec) if fault_spec is not None else None
+    if state is None:
+        state = ClusterState.initial(platform, batch)
+    else:
+        # Warm start (online sessions): keep resident copies, dead nodes
+        # and cumulative statistics; only the catalog grows.
+        state.register_files(batch.files)
+    if fault_model is None and fault_spec is not None:
+        fault_model = FaultModel(fault_spec)
+    if fault_model is not None and fault_spec is None:
+        fault_spec = fault_model.spec
     runtime = Runtime(
         platform,
         state,

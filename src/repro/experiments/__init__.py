@@ -26,6 +26,14 @@ from .runner import (
     run_config_result,
 )
 from .sensitivity import replication_advantage_sweep
+from .stream import (
+    StreamConfig,
+    StreamRecord,
+    render_stream_table,
+    run_stream_config,
+    stream_config_from_dict,
+    stream_sweep,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -51,4 +59,10 @@ __all__ = [
     "default_bench_cells",
     "run_bench_cells",
     "write_bench",
+    "StreamConfig",
+    "StreamRecord",
+    "run_stream_config",
+    "stream_config_from_dict",
+    "stream_sweep",
+    "render_stream_table",
 ]

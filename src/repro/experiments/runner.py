@@ -9,7 +9,7 @@ from ..batch import Batch
 from ..cluster.platform import Platform, osc_osumed, osc_xio
 from ..core.driver import run_batch
 from ..core.plan import BatchResult
-from ..workloads import generate_image_batch, generate_sat_batch
+from ..workloads import WORKLOADS, available_workloads, make_batch
 from .report import Record
 
 __all__ = [
@@ -28,7 +28,7 @@ class ExperimentConfig:
     """One experiment cell: workload x platform x scheme."""
 
     experiment: str
-    workload: str  # "sat" | "image"
+    workload: str  # any repro.workloads.WORKLOADS name: "sat" | "image" | ...
     overlap: str
     num_tasks: int
     storage: str  # "xio" | "osumed"
@@ -52,6 +52,17 @@ class ExperimentConfig:
     # ``None`` for a fault-free run. Semantic: part of the result-cache key.
     faults: dict | None = None
 
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; "
+                f"use {available_workloads()}"
+            )
+        if self.storage not in ("xio", "osumed"):
+            raise ValueError(
+                f"unknown storage {self.storage!r}; use ['osumed', 'xio']"
+            )
+
     def platform(self) -> Platform:
         maker = osc_xio if self.storage == "xio" else osc_osumed
         return maker(
@@ -61,8 +72,13 @@ class ExperimentConfig:
         )
 
     def batch(self) -> Batch:
-        gen = generate_sat_batch if self.workload == "sat" else generate_image_batch
-        return gen(self.num_tasks, self.overlap, self.num_storage, seed=self.seed)
+        return make_batch(
+            self.workload,
+            self.num_tasks,
+            self.overlap,
+            self.num_storage,
+            seed=self.seed,
+        )
 
 
 def default_scheduler_kwargs(scheme: str, time_limit: float = 30.0) -> dict:

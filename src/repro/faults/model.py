@@ -71,6 +71,10 @@ class FaultModel:
         self._crash_times: dict[int, float] = {
             c.node: c.time for c in self.spec.node_crashes
         }
+        # Spec indices of disk losses already applied. Kept on the model
+        # (not the runtime) so online sessions sharing one model across
+        # successive per-batch runtimes apply each loss exactly once.
+        self.applied_disk_losses: set[int] = set()
 
     # -- node crashes ------------------------------------------------------
 

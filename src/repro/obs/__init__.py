@@ -27,6 +27,7 @@ from .export import (
     MANIFEST_KIND,
     MANIFEST_VERSION,
     build_manifest,
+    build_stream_manifest,
     load_schema,
     manifest_to_ndjson,
     merge_snapshots,
@@ -43,6 +44,7 @@ from .timeseries import (
     TimeSeriesProbe,
     merge_timeseries,
     resolve_timeseries,
+    stitch_timeseries,
 )
 
 __all__ = [
@@ -60,6 +62,7 @@ __all__ = [
     "Telemetry",
     "TimeSeriesProbe",
     "build_manifest",
+    "build_stream_manifest",
     "check",
     "compute_metrics",
     "conservation_residual_mb",
@@ -74,6 +77,7 @@ __all__ = [
     "merged_chrome_trace",
     "render_report",
     "resolve_timeseries",
+    "stitch_timeseries",
     "telemetry",
     "validate",
     "validate_manifest",

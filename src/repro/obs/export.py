@@ -46,6 +46,7 @@ __all__ = [
     "MANIFEST_KIND",
     "MANIFEST_VERSION",
     "build_manifest",
+    "build_stream_manifest",
     "load_schema",
     "manifest_to_ndjson",
     "merge_snapshots",
@@ -152,6 +153,69 @@ def build_manifest(
     return out
 
 
+def build_stream_manifest(
+    stream_result: Any,
+    *,
+    config: Mapping[str, Any] | None = None,
+    config_digest: str | None = None,
+) -> dict[str, Any]:
+    """Assemble the run manifest for one streamed session.
+
+    ``stream_result`` is a :class:`~repro.online.session.StreamResult`
+    (duck-typed, like :func:`build_manifest`): the standard ``result`` and
+    ``stats`` blocks summarise the whole stream (total span, cumulative
+    transfer statistics), and the schema-versioned optional ``online``
+    block carries the queueing metrics, per-batch and per-job records
+    (``stream_result.to_dict()``). Validates against the same
+    ``run-manifest.schema.json``.
+    """
+    from .. import __version__  # deferred: the package root imports obs' users
+
+    stats = stream_result.stats
+    manifest: dict[str, Any] = {
+        "kind": MANIFEST_KIND,
+        "manifest_version": MANIFEST_VERSION,
+        "versions": {
+            "repro": __version__,
+            "python": _platform.python_version(),
+        },
+        "config": dict(config) if config is not None else None,
+        "config_digest": config_digest,
+        "scheme": stream_result.scheme,
+        "result": {
+            "makespan_s": stream_result.total_span_s,
+            "scheduling_seconds": sum(
+                b.scheduling_seconds for b in stream_result.batches
+            ),
+            "sub_batches": sum(b.sub_batches for b in stream_result.batches),
+            "tasks": stream_result.num_jobs,
+        },
+        "stats": {
+            "remote_transfers": stats.remote_transfers,
+            "remote_volume_mb": stats.remote_volume_mb,
+            "replications": stats.replications,
+            "replication_volume_mb": stats.replication_volume_mb,
+            "evictions": stats.evictions,
+            "evicted_volume_mb": stats.evicted_volume_mb,
+            "cache_hits": stats.cache_hits,
+            "cache_hit_volume_mb": stats.cache_hit_volume_mb,
+        },
+        "metrics": None,
+        "telemetry": None,
+        "decisions": None,
+        "online": stream_result.to_dict(),
+    }
+    fault_stats = getattr(stream_result, "fault_stats", None)
+    if fault_stats is not None:
+        manifest["faults"] = fault_stats.to_dict()
+    timeseries = getattr(stream_result, "timeseries", None)
+    if timeseries is not None:
+        manifest["timeseries"] = timeseries
+    out = _jsonable(manifest)
+    assert isinstance(out, dict)
+    return out
+
+
 def validate_manifest(manifest: Mapping[str, Any]) -> list[str]:
     """Validate a manifest against the checked-in schema; returns errors."""
     return validate(dict(manifest), load_schema())
@@ -202,6 +266,22 @@ def manifest_to_ndjson(manifest: Mapping[str, Any]) -> Iterator[str]:
     faults = manifest.get("faults")
     if faults is not None:
         yield json.dumps({"type": "faults", **faults}, allow_nan=False)
+    online = manifest.get("online")
+    if online is not None:
+        # One summary line for the stream, one per dispatched batch; the
+        # per-job array stays in the JSON manifest (it can be long).
+        yield json.dumps(
+            {
+                "type": "online",
+                "mode": online.get("mode"),
+                "policy": online.get("policy"),
+                "scheme": online.get("scheme"),
+                **(online.get("queueing") or {}),
+            },
+            allow_nan=False,
+        )
+        for batch in online.get("batches", []):
+            yield json.dumps({"type": "online-batch", **batch}, allow_nan=False)
     timeseries = manifest.get("timeseries")
     if timeseries is not None:
         # One summary line per series (name, unit, point count, last value)

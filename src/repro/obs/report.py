@@ -59,6 +59,7 @@ _EVENT_COLORS = {
     "slowdown-start": "#7b2cbf",
     "slowdown-end": "#b296d6",
     "subbatch": "#9aa5b1",
+    "batch": "#1b7837",
 }
 
 
@@ -233,6 +234,58 @@ def _timeseries_section(manifest: Mapping[str, Any]) -> str:
     return "".join(out)
 
 
+def _online_section(manifest: Mapping[str, Any]) -> str:
+    """Streaming-session block: queueing metrics, per-batch table, responses."""
+    online = manifest.get("online")
+    if online is None:
+        return ""
+    queueing = online.get("queueing") or {}
+    header = dict(queueing)
+    header["mode"] = online.get("mode")
+    header["policy"] = online.get("policy")
+    arrival = online.get("arrival")
+    if arrival:
+        header["arrival"] = " ".join(
+            f"{k}={v}" for k, v in sorted(arrival.items())
+        )
+    out = [_kv_table(header, "Online session (queueing)")]
+    batches = online.get("batches", [])
+    if batches:
+        out.append(
+            "<h2>Dispatch windows</h2>"
+            "<table><tr><th>#</th><th>dispatch (s)</th><th>jobs</th>"
+            "<th>makespan (s)</th><th>sub-batches</th><th>queue</th>"
+            "<th>remote MB</th><th>cross-batch MB</th></tr>"
+        )
+        for b in batches:
+            out.append(
+                "<tr>"
+                f"<td>{_fmt(b.get('index'))}</td>"
+                f"<td>{_fmt(b.get('dispatch_s'))}</td>"
+                f"<td>{_fmt(b.get('num_jobs'))}</td>"
+                f"<td>{_fmt(b.get('makespan_s'))}</td>"
+                f"<td>{_fmt(b.get('sub_batches'))}</td>"
+                f"<td>{_fmt(b.get('queue_depth'))}</td>"
+                f"<td>{_fmt(b.get('remote_volume_mb'))}</td>"
+                f"<td>{_fmt(b.get('cross_batch_hit_volume_mb'))}</td>"
+                "</tr>"
+            )
+        out.append("</table>")
+    jobs = online.get("jobs", [])
+    if jobs:
+        responses = [
+            [float(j.get("arrival_s", 0.0)), float(j.get("response_s", 0.0))]
+            for j in jobs
+        ]
+        out.append(
+            "<h2>Job response times (s, by arrival)</h2>"
+            f"<table class='spark'><tr><td class='name'>response_s</td>"
+            f"<td>{_fmt(max(r[1] for r in responses))} max</td>"
+            f"<td>{_sparkline(responses)}</td></tr></table>"
+        )
+    return "".join(out)
+
+
 def _diff_section(diff: ManifestDiff, top: int = 10) -> str:
     cls = "delta-bad" if diff.delta_s > 0 else "delta-good"
     out = [
@@ -357,6 +410,7 @@ def render_report(
     ]
     if baseline is not None:
         parts.append(_diff_section(diff_manifests(baseline, manifest)))
+    parts.append(_online_section(manifest))
     parts.append(_timeseries_section(manifest))
     metrics = manifest.get("metrics")
     if metrics is not None:

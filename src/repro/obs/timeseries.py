@@ -42,6 +42,7 @@ __all__ = [
     "TimeSeriesProbe",
     "merge_timeseries",
     "resolve_timeseries",
+    "stitch_timeseries",
 ]
 
 #: Schema version of the manifest ``timeseries`` block.
@@ -271,6 +272,67 @@ class TimeSeriesProbe:
             "series": series,
             "events": events,
         }
+
+
+def stitch_timeseries(
+    blocks: list[tuple[float, Mapping[str, Any]]],
+) -> dict[str, Any]:
+    """Concatenate per-batch ``timeseries`` blocks onto one stream clock.
+
+    Online sessions (:mod:`repro.online`) run each dispatch window through
+    its own runtime, whose clock restarts at zero; ``blocks`` pairs each
+    window's block with its dispatch time on the stream clock. Every point
+    and event is offset by its window's dispatch, series are concatenated
+    in dispatch order, and a ``batch`` boundary marker event is inserted at
+    each dispatch — the same mechanism as the ``subbatch`` markers, one
+    level up. Samples and compactions sum; the budget is the per-batch
+    budget (individual batches were downsampled, the stitched series is
+    their concatenation and may exceed it).
+    """
+    if not blocks:
+        raise ValueError("no timeseries blocks to stitch")
+    ordered = sorted(blocks, key=lambda b: b[0])
+    series: dict[str, dict[str, Any]] = {}
+    events: list[dict[str, Any]] = []
+    samples = 0
+    compactions = 0
+    budget = int(ordered[0][1]["budget"])
+    for index, (dispatch, block) in enumerate(ordered):
+        if int(block["version"]) != TIMESERIES_VERSION:
+            raise ValueError(
+                f"cannot stitch timeseries version {block['version']}"
+            )
+        events.append(
+            {"t": float(dispatch), "kind": "batch", "node": None,
+             "detail": f"#{index}"}
+        )
+        samples += int(block["samples"])
+        compactions += int(block["compactions"])
+        for name, s in block["series"].items():
+            out = series.get(name)
+            if out is None:
+                out = series[name] = {"unit": s["unit"], "points": []}
+            out["points"].extend(
+                [float(t) + dispatch, float(v)] for t, v in s["points"]
+            )
+        for e in block["events"]:
+            events.append({**e, "t": float(e["t"]) + dispatch})
+    events.sort(
+        key=lambda e: (
+            e["t"],
+            e["kind"],
+            -1 if e["node"] is None else e["node"],
+            e["detail"] or "",
+        )
+    )
+    return {
+        "version": TIMESERIES_VERSION,
+        "budget": budget,
+        "samples": samples,
+        "compactions": compactions,
+        "series": {name: series[name] for name in sorted(series)},
+        "events": events,
+    }
 
 
 def merge_timeseries(

@@ -5,9 +5,24 @@
 * :func:`generate_image_batch` — biomedical image analysis (patient/study/
   modality selections over an MRI+CT archive, round-robin placement).
 * :func:`generate_synthetic_batch` — direct control of sharing for tests.
+* :func:`generate_hilbert_batch` — spatial window queries over the
+  Hilbert-declustered chunk grid (geometric sharing).
+* :func:`generate_overlap_batch` — affinity groups with a directly dialled
+  shared-file fraction.
+
+All generators are exposed through the :data:`WORKLOADS` registry under a
+uniform ``(num_tasks, overlap, num_storage, seed)`` signature — the single
+source of truth for experiment configs and CLI ``--workload`` choices.
 """
 
-from .hilbert import decluster, hilbert_d2xy, hilbert_order_for, hilbert_xy2d
+from .hilbert import (
+    HILBERT_PRESETS,
+    decluster,
+    generate_hilbert_batch,
+    hilbert_d2xy,
+    hilbert_order_for,
+    hilbert_xy2d,
+)
 from .image import (
     IMAGE_PRESETS,
     ImageConfig,
@@ -15,7 +30,13 @@ from .image import (
     generate_image_batch,
     image_file_id,
 )
-from .overlap import image_groups, sat_groups, within_group_overlap
+from .overlap import (
+    OVERLAP_PRESETS,
+    generate_overlap_batch,
+    image_groups,
+    sat_groups,
+    within_group_overlap,
+)
 from .sat import SAT_PRESETS, SatConfig, generate_sat_batch, hotspot_of, sat_file_id
 from .synthetic import generate_synthetic_batch
 
@@ -23,10 +44,17 @@ __all__ = [
     "generate_sat_batch",
     "generate_image_batch",
     "generate_synthetic_batch",
+    "generate_hilbert_batch",
+    "generate_overlap_batch",
+    "WORKLOADS",
+    "available_workloads",
+    "make_batch",
     "SAT_PRESETS",
     "SatConfig",
     "IMAGE_PRESETS",
     "ImageConfig",
+    "HILBERT_PRESETS",
+    "OVERLAP_PRESETS",
     "sat_file_id",
     "image_file_id",
     "hilbert_xy2d",
@@ -39,3 +67,49 @@ __all__ = [
     "hotspot_of",
     "affinity_group_of",
 ]
+
+
+def _synthetic(num_tasks, overlap, num_storage, seed=0):
+    """Adapter: map the overlap level onto the hot-pool probability."""
+    levels = {"high": 0.85, "medium": 0.4, "low": 0.1}
+    if overlap not in levels:
+        raise ValueError(
+            f"unknown overlap level {overlap!r}; use {sorted(levels)}"
+        )
+    return generate_synthetic_batch(
+        num_tasks,
+        num_files=max(num_tasks * 2, 16),
+        files_per_task=4,
+        num_storage=num_storage,
+        hot_probability=levels[overlap],
+        size_spread=0.2,
+        seed=seed,
+    )
+
+
+#: Registry of batch generators under the uniform signature
+#: ``(num_tasks, overlap, num_storage, seed)``; ``overlap`` is one of
+#: ``"high" | "medium" | "low"`` for every entry.
+WORKLOADS = {
+    "sat": generate_sat_batch,
+    "image": generate_image_batch,
+    "synthetic": _synthetic,
+    "hilbert": generate_hilbert_batch,
+    "overlap": generate_overlap_batch,
+}
+
+
+def available_workloads() -> list[str]:
+    """Registered workload names, sorted."""
+    return sorted(WORKLOADS)
+
+
+def make_batch(workload, num_tasks, overlap, num_storage, seed=0):
+    """Generate a batch by registry name (the CLI/experiments entry point)."""
+    try:
+        gen = WORKLOADS[workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {workload!r}; use {available_workloads()}"
+        ) from None
+    return gen(num_tasks, overlap, num_storage, seed)

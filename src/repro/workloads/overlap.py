@@ -1,10 +1,14 @@
-"""Overlap measurement within affinity groups.
+"""Overlap measurement within affinity groups, and a direct-dial generator.
 
 The paper characterises workloads by the degree of file sharing *among the
 tasks that are related* (queries at the same hot spot, studies of the same
 patient). :func:`within_group_overlap` is the calibration metric for the
 generators' presets: the mean, over all task pairs in the same affinity
 group, of ``|A ∩ B| / min(|A|, |B|)``.
+
+:func:`generate_overlap_batch` turns the metric into a generator: affinity
+groups of tasks drawing from a group-shared file set plus per-task private
+files, with the shared fraction set directly by the overlap level.
 """
 
 from __future__ import annotations
@@ -14,7 +18,13 @@ from collections.abc import Callable, Hashable
 
 from ..batch import Batch
 
-__all__ = ["within_group_overlap", "sat_groups", "image_groups"]
+__all__ = [
+    "within_group_overlap",
+    "sat_groups",
+    "image_groups",
+    "generate_overlap_batch",
+    "OVERLAP_PRESETS",
+]
 
 
 def within_group_overlap(
@@ -45,3 +55,74 @@ def image_groups(batch: Batch) -> Callable[[str], Hashable]:
     from .image import affinity_group_of
 
     return lambda task_id: affinity_group_of(batch, task_id)
+
+
+#: Shared-file fraction per overlap level — the paper's 85/40/10 targets
+#: applied literally (tasks in a group share exactly this fraction).
+OVERLAP_PRESETS: dict[str, float] = {"high": 0.85, "medium": 0.4, "low": 0.1}
+
+_FILES_PER_TASK = 8
+_GROUP_SIZE = 6
+_FILE_MB = 50.0
+
+
+def generate_overlap_batch(
+    num_tasks: int,
+    overlap: str,
+    num_storage: int,
+    seed: int = 0,
+) -> Batch:
+    """Affinity groups with a directly dialled shared-file fraction.
+
+    Tasks are dealt round-robin into groups of 6. Each task reads 8 files:
+    ``round(8 * OVERLAP_PRESETS[overlap])`` drawn from its group's shared
+    pool and the rest private to the task, so the within-group overlap *is*
+    the preset, by construction. Files are spread over storage nodes
+    round-robin in creation order; sizes vary deterministically around
+    50 MB so size-based victim orderings never tie.
+    """
+    import numpy as np
+
+    from ..batch import FileInfo, Task
+
+    if overlap not in OVERLAP_PRESETS:
+        raise ValueError(
+            f"unknown overlap level {overlap!r}; use {sorted(OVERLAP_PRESETS)}"
+        )
+    rng = np.random.default_rng(seed)
+    shared_per_task = round(_FILES_PER_TASK * OVERLAP_PRESETS[overlap])
+    num_groups = max(1, (num_tasks + _GROUP_SIZE - 1) // _GROUP_SIZE)
+
+    files: dict[str, FileInfo] = {}
+
+    def new_file(fid: str) -> str:
+        size = float(_FILE_MB * (1.0 + 0.2 * rng.uniform(-1.0, 1.0)))
+        files[fid] = FileInfo(fid, size, len(files) % num_storage)
+        return fid
+
+    # Each group's shared pool is as large as one task's shared draw, so
+    # every group member reads the whole pool: pairwise shared overlap is
+    # exactly shared_per_task files.
+    shared_pools = [
+        [new_file(f"ovl_g{g:03d}_s{i:02d}") for i in range(max(shared_per_task, 1))]
+        for g in range(num_groups)
+    ]
+
+    tasks = []
+    for k in range(num_tasks):
+        group = k % num_groups
+        shared = shared_pools[group][:shared_per_task]
+        private = [
+            new_file(f"ovl_t{k:05d}_p{i:02d}")
+            for i in range(_FILES_PER_TASK - len(shared))
+        ]
+        file_ids = tuple(shared + private)
+        volume = sum(files[f].size_mb for f in file_ids)
+        tasks.append(
+            Task(
+                task_id=f"ovltask{k:05d}",
+                files=file_ids,
+                compute_time=volume * 0.001,
+            )
+        )
+    return Batch(tasks, files)

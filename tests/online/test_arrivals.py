@@ -1,0 +1,114 @@
+"""Arrival processes: determinism, monotonicity, spec dispatch."""
+
+import pytest
+
+from repro.batch import Batch, FileInfo, Task
+from repro.online import (
+    JobArrival,
+    JobStream,
+    arrivals_from_spec,
+    bursty_arrivals,
+    poisson_arrivals,
+    stream_from_batch,
+    trace_arrivals,
+)
+
+
+def _tiny_batch(n=3):
+    files = {"a": FileInfo("a", 10.0, 0)}
+    tasks = [Task(f"t{i}", ("a",), 1.0) for i in range(n)]
+    return Batch(tasks, files)
+
+
+class TestPoisson:
+    def test_deterministic_per_seed(self):
+        assert poisson_arrivals(20, 0.1, seed=3) == poisson_arrivals(20, 0.1, seed=3)
+        assert poisson_arrivals(20, 0.1, seed=3) != poisson_arrivals(20, 0.1, seed=4)
+
+    def test_nondecreasing_and_positive(self):
+        times = poisson_arrivals(50, 0.5, seed=0)
+        assert len(times) == 50
+        assert all(t >= 0.0 for t in times)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_rate_scales_span(self):
+        # Double the rate -> arrivals exactly halve (same exponential draws).
+        slow = poisson_arrivals(100, 0.1, seed=1)
+        fast = poisson_arrivals(100, 0.2, seed=1)
+        assert fast[-1] == pytest.approx(slow[-1] / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(5, 0.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(-1, 1.0)
+
+
+class TestBursty:
+    def test_no_arrival_in_off_window(self):
+        on_s, off_s = 30.0, 70.0
+        times = bursty_arrivals(200, 1.0, on_s, off_s, seed=2)
+        period = on_s + off_s
+        for t in times:
+            assert t % period <= on_s + 1e-9
+
+    def test_nondecreasing(self):
+        times = bursty_arrivals(100, 0.5, 10.0, 50.0, seed=0)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bursty_arrivals(5, 1.0, 0.0, 10.0)
+
+
+class TestTrace:
+    def test_replay_and_validation(self):
+        assert trace_arrivals([0, 1, 5]) == [0.0, 1.0, 5.0]
+        with pytest.raises(ValueError):
+            trace_arrivals([1.0, 0.5])
+        with pytest.raises(ValueError):
+            trace_arrivals([-1.0, 2.0])
+
+    def test_cycling_shifts_by_span(self):
+        times = arrivals_from_spec({"kind": "trace", "times": [0.0, 2.0, 10.0]}, 7)
+        assert times == [0.0, 2.0, 10.0, 10.0, 12.0, 20.0, 20.0]
+
+    def test_truncates_to_num_jobs(self):
+        times = arrivals_from_spec({"kind": "trace", "times": [0.0, 1.0, 2.0]}, 2)
+        assert times == [0.0, 1.0]
+
+
+class TestSpec:
+    def test_dispatch(self):
+        assert arrivals_from_spec(
+            {"kind": "poisson", "rate": 0.1, "seed": 5}, 10
+        ) == poisson_arrivals(10, 0.1, seed=5)
+        assert arrivals_from_spec(
+            {"kind": "bursty", "rate": 0.1, "on_s": 5.0, "off_s": 5.0}, 10
+        ) == bursty_arrivals(10, 0.1, 5.0, 5.0, seed=0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown arrival kind"):
+            arrivals_from_spec({"kind": "weibull"}, 3)
+
+
+class TestJobStream:
+    def test_stream_from_batch(self):
+        batch = _tiny_batch(3)
+        stream = stream_from_batch(batch, [0.0, 1.0, 4.0])
+        assert stream.num_jobs == 3
+        assert stream.span_s == 4.0
+        assert stream.arrivals[1] == JobArrival("t1", 1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            stream_from_batch(_tiny_batch(3), [0.0, 1.0])
+
+    def test_validation(self):
+        batch = _tiny_batch(2)
+        with pytest.raises(ValueError, match="duplicate"):
+            JobStream(batch, (JobArrival("t0", 0.0), JobArrival("t0", 1.0)))
+        with pytest.raises(ValueError, match="unknown"):
+            JobStream(batch, (JobArrival("zzz", 0.0),))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            JobStream(batch, (JobArrival("t0", 2.0), JobArrival("t1", 1.0)))

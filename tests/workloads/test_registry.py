@@ -1,0 +1,67 @@
+"""Workload registry round-trip: every name generates and configures."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+from repro.workloads import WORKLOADS, available_workloads, make_batch
+
+
+class TestRegistry:
+    def test_names(self):
+        assert available_workloads() == sorted(WORKLOADS)
+        for name in ("sat", "image", "synthetic", "hilbert", "overlap"):
+            assert name in WORKLOADS
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("overlap", ["high", "medium", "low"])
+    def test_every_entry_generates(self, workload, overlap):
+        batch = make_batch(workload, 8, overlap, 4, seed=1)
+        assert len(batch.tasks) == 8
+        assert batch.files
+        for f in batch.files.values():
+            assert 0 <= f.storage_node < 4
+        # Deterministic: same call, same batch.
+        again = make_batch(workload, 8, overlap, 4, seed=1)
+        assert [t.task_id for t in again.tasks] == [
+            t.task_id for t in batch.tasks
+        ]
+        assert again.distinct_file_mb == batch.distinct_file_mb
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_batch("mapreduce", 8, "high", 4)
+
+    @pytest.mark.parametrize("workload", ["sat", "hilbert", "overlap"])
+    def test_unknown_overlap_level(self, workload):
+        with pytest.raises(ValueError):
+            make_batch(workload, 8, "extreme", 4)
+
+
+class TestExperimentConfigRoundTrip:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_config_accepts_registry_names(self, workload):
+        cfg = ExperimentConfig(
+            experiment="reg", workload=workload, overlap="medium",
+            num_tasks=6, storage="xio",
+        )
+        batch = cfg.batch()
+        reference = make_batch(workload, 6, "medium", cfg.num_storage,
+                               seed=cfg.seed)
+        assert [t.task_id for t in batch.tasks] == [
+            t.task_id for t in reference.tasks
+        ]
+        assert batch.distinct_file_mb == reference.distinct_file_mb
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            ExperimentConfig(
+                experiment="reg", workload="mapreduce", overlap="high",
+                num_tasks=6, storage="xio",
+            )
+
+    def test_unknown_storage_rejected(self):
+        with pytest.raises(ValueError, match="unknown storage"):
+            ExperimentConfig(
+                experiment="reg", workload="sat", overlap="high",
+                num_tasks=6, storage="lustre",
+            )
